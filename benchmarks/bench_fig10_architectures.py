@@ -1,0 +1,24 @@
+"""Fig. 10 — characteristics of the per-device architectures."""
+
+from repro.experiments import run_fig10
+
+
+def test_fig10_device_specific_designs(benchmark):
+    reports = benchmark(run_fig10)
+    by_device = {r.device: r for r in reports}
+    for report in reports:
+        benchmark.extra_info[report.device] = {
+            "samples": report.num_samples,
+            "aggregates": report.num_aggregates,
+            "combines": report.num_combines,
+            "speedup": round(report.speedup_vs_dgcnn, 2),
+        }
+    # Paper insight: designs mirror their device's bottleneck.
+    # GPU-like devices (sample-bound) keep at most as many KNN ops as DGCNN's 4.
+    assert by_device["rtx3080"].num_samples <= 2
+    assert by_device["jetson-tx2"].num_samples <= 2
+    # The Intel design holds no more aggregates than the TX2 design.
+    assert by_device["i7-8700k"].num_aggregates <= by_device["jetson-tx2"].num_aggregates + 1
+    # Every design is a real speedup over DGCNN on its own device.
+    assert all(r.speedup_vs_dgcnn > 2.0 for r in reports)
+    assert all("Classifier" in r.rendering for r in reports)

@@ -1,0 +1,19 @@
+"""Fig. 2(b) — accuracy vs latency of sampled-result reuse across DGCNN layers."""
+
+from repro.experiments import run_fig2
+
+
+def test_fig2_reuse_tradeoff(benchmark, bench_scale):
+    results = benchmark.pedantic(run_fig2, args=(bench_scale,), rounds=1, iterations=1)
+    by_name = {r.name: r for r in results}
+    for result in results:
+        benchmark.extra_info[result.name] = {
+            "accuracy": round(result.accuracy, 3),
+            "latency_ms": round(result.latency_ms, 1),
+        }
+    # Shape: reusing sampled results reduces latency substantially while the
+    # accuracy stays in the same range (paper: negligible loss).
+    full = by_name["rebuild-all (DGCNN)"]
+    reused = by_name["rebuild-1"]
+    assert reused.latency_ms < 0.75 * full.latency_ms
+    assert reused.accuracy > full.accuracy - 0.25

@@ -1,0 +1,24 @@
+"""Fig. 3 — execution-time breakdown of DGCNN across the four platforms."""
+
+from repro.experiments import run_fig3
+
+
+def test_fig3_execution_breakdown(benchmark):
+    rows = benchmark(run_fig3)
+    for row in rows:
+        benchmark.extra_info[row["device"]] = {
+            "sample": round(row["sample_fraction"], 3),
+            "aggregate": round(row["aggregate_fraction"], 3),
+            "combine": round(row["combine_fraction"], 3),
+            "others": round(row["others_fraction"], 3),
+        }
+    by_device = {row["device"]: row for row in rows}
+    # Paper shape: GPU-like devices are sample(KNN)-bound, the CPU is
+    # aggregate-bound, and the Pi spreads time over all three phases.
+    assert by_device["rtx3080"]["dominant_category"] == "sample"
+    assert by_device["jetson-tx2"]["dominant_category"] == "sample"
+    assert by_device["i7-8700k"]["dominant_category"] == "aggregate"
+    pi = by_device["raspberry-pi"]
+    assert min(pi["sample_fraction"], pi["aggregate_fraction"], pi["combine_fraction"]) > 0.15
+    for row in rows:
+        assert row["max_abs_error_vs_paper"] < 0.05

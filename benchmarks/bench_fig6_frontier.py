@@ -1,0 +1,22 @@
+"""Fig. 6 — accuracy-vs-latency frontier of HGNAS against existing models."""
+
+from repro.experiments import run_fig6
+
+
+def test_fig6_accuracy_latency_frontier(benchmark, bench_scale):
+    frontier = benchmark.pedantic(run_fig6, args=(bench_scale,), rounds=1, iterations=1)
+    assert len(frontier) == 4
+    for device, points in frontier.items():
+        hgnas = [p for p in points if p.is_hgnas]
+        dgcnn = next(p for p in points if p.network == "DGCNN")
+        fastest_hgnas = min(hgnas, key=lambda p: p.latency_ms)
+        benchmark.extra_info[device] = {
+            p.network: {"latency_ms": round(p.latency_ms, 1), "accuracy": round(p.accuracy, 3)}
+            for p in points
+        }
+        # Frontier shape: the HGNAS designs sit left of (faster than) every
+        # baseline on the latency axis without collapsing in accuracy.
+        assert fastest_hgnas.latency_ms < min(
+            p.latency_ms for p in points if not p.is_hgnas
+        )
+        assert fastest_hgnas.accuracy > dgcnn.accuracy - 0.3

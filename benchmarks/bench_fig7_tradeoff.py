@@ -1,0 +1,21 @@
+"""Fig. 7 — accuracy / speedup trade-off controlled by the alpha:beta ratio."""
+
+from repro.experiments import ExperimentScale, run_fig7
+
+
+def test_fig7_alpha_beta_tradeoff(benchmark):
+    scale = ExperimentScale(num_classes=5, samples_per_class=5, num_points=32, train_epochs=2, batch_size=5)
+    ratios = (0.1, 1.0, 10.0)
+    points = benchmark.pedantic(run_fig7, kwargs={"ratios": ratios, "scale": scale}, rounds=1, iterations=1)
+    for point in points:
+        benchmark.extra_info[f"ratio_{point.ratio}"] = {
+            "accuracy": round(point.accuracy, 3),
+            "speedup": round(point.speedup_vs_dgcnn, 2),
+        }
+    assert len(points) == 3
+    # Shape: every searched design is faster than DGCNN, and the most
+    # latency-weighted objective (smallest alpha:beta) never yields the
+    # slowest design of the sweep.
+    assert all(p.speedup_vs_dgcnn > 1.0 for p in points)
+    slowest = min(points, key=lambda p: p.speedup_vs_dgcnn)
+    assert points[0].speedup_vs_dgcnn >= slowest.speedup_vs_dgcnn

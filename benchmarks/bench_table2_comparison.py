@@ -1,0 +1,36 @@
+"""Table II — HGNAS vs DGCNN / [6] / [7] on every device."""
+
+from repro.experiments import format_table, run_table2
+
+
+def test_table2_full_comparison(benchmark, bench_scale):
+    rows = benchmark.pedantic(run_table2, args=(bench_scale,), rounds=1, iterations=1)
+    benchmark.extra_info["table"] = format_table(
+        [
+            {
+                "device": r.device,
+                "network": r.network,
+                "size_mb": round(r.size_mb, 3),
+                "oa": round(r.overall_accuracy, 3),
+                "macc": round(r.balanced_accuracy, 3),
+                "latency_ms": round(r.latency_ms, 1),
+                "mem_mb": round(r.peak_memory_mb, 1),
+                "speedup": round(r.speedup_vs_dgcnn, 2),
+            }
+            for r in rows
+        ]
+    )
+    devices = {r.device for r in rows}
+    assert len(devices) == 4 and len(rows) == 20
+    for device in devices:
+        per_device = {r.network: r for r in rows if r.device == device}
+        fast = per_device["HGNAS-Fast"]
+        # Who wins: HGNAS-Fast must beat both manual baselines and DGCNN on
+        # latency and reduce memory on every device.
+        assert fast.speedup_vs_dgcnn > per_device["[6] graph-reuse"].speedup_vs_dgcnn
+        assert fast.speedup_vs_dgcnn > per_device["[7] simplified"].speedup_vs_dgcnn
+        assert fast.speedup_vs_dgcnn > 2.0
+        assert fast.memory_reduction_vs_dgcnn > 0.2
+        # Accuracy stays in the same band as DGCNN (negligible loss at this
+        # synthetic scale means: not catastrophically worse).
+        assert fast.overall_accuracy > per_device["DGCNN"].overall_accuracy - 0.3

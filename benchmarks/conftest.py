@@ -1,0 +1,19 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+(laptop-friendly) scale and attaches the reproduced numbers to
+``benchmark.extra_info`` so they can be inspected in the pytest-benchmark
+JSON output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentScale
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    """Dataset/training scale used by the accuracy-bearing benchmarks."""
+    return ExperimentScale(num_classes=6, samples_per_class=6, num_points=32, train_epochs=2, batch_size=6)

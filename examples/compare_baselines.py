@@ -1,0 +1,37 @@
+"""Reproduce the Table II comparison: HGNAS vs DGCNN and the manual baselines.
+
+Run with ``python examples/compare_baselines.py``.  Takes a few minutes
+because every model (DGCNN, the two manual baselines and the HGNAS Acc/Fast
+designs) is trained on the synthetic benchmark before being costed on every
+device with the calibrated hardware model.
+"""
+
+from repro.experiments import ExperimentScale, format_table, run_table2
+
+
+def main() -> None:
+    scale = ExperimentScale(num_classes=8, samples_per_class=8, num_points=48, train_epochs=4, batch_size=8)
+    rows = run_table2(scale)
+    print("== Table II reproduction (synthetic benchmark + calibrated hardware model) ==")
+    print(
+        format_table(
+            [
+                {
+                    "device": r.device,
+                    "network": r.network,
+                    "size_mb": round(r.size_mb, 3),
+                    "OA": round(r.overall_accuracy, 3),
+                    "mAcc": round(r.balanced_accuracy, 3),
+                    "latency_ms": round(r.latency_ms, 1),
+                    "mem_mb": round(r.peak_memory_mb, 1),
+                    "speedup": f"{r.speedup_vs_dgcnn:.1f}x",
+                    "mem_red": f"{r.memory_reduction_vs_dgcnn:.0%}",
+                }
+                for r in rows
+            ]
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Profile DGCNN across devices and cloud sizes (paper Figs. 1 and 3).
+
+Run with ``python examples/profile_dgcnn.py``.
+"""
+
+from repro.experiments import format_table, run_fig3, run_point_sweep
+
+
+def main() -> None:
+    print("== Execution-time breakdown of DGCNN at 1024 points (Fig. 3) ==")
+    rows = [
+        {
+            "device": row["display_name"],
+            "total_ms": round(row["total_latency_ms"], 1),
+            "sample": f"{row['sample_fraction']:.1%}",
+            "aggregate": f"{row['aggregate_fraction']:.1%}",
+            "combine": f"{row['combine_fraction']:.1%}",
+            "others": f"{row['others_fraction']:.1%}",
+        }
+        for row in run_fig3()
+    ]
+    print(format_table(rows))
+
+    print("\n== Scaling with the number of points on the Raspberry Pi (Fig. 1) ==")
+    sweep = run_point_sweep("raspberry-pi")
+    rows = [
+        {
+            "model": row.model,
+            "points": row.num_points,
+            "latency_s": round(row.latency_ms / 1000, 2),
+            "peak_mem_mb": round(row.peak_memory_mb, 1),
+            "oom": "OOM" if row.out_of_memory else "",
+        }
+        for row in sweep
+    ]
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

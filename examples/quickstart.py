@@ -1,0 +1,44 @@
+"""Quickstart: profile DGCNN on every edge device and inspect an HGNAS design.
+
+Run with ``python examples/quickstart.py`` (takes a few seconds).
+"""
+
+from repro.experiments import format_table
+from repro.hardware import (
+    all_devices,
+    dgcnn_workload,
+    estimate_latency,
+    estimate_peak_memory,
+)
+from repro.nas import device_fast_architecture, render_architecture
+
+
+def main() -> None:
+    print("== DGCNN (1024 points) on the paper's four edge devices ==")
+    rows = []
+    for device in all_devices():
+        workload = dgcnn_workload(1024)
+        latency = estimate_latency(workload, device)
+        memory = estimate_peak_memory(workload, device)
+        rows.append(
+            {
+                "device": device.display_name,
+                "latency_ms": round(latency.total_ms, 1),
+                "peak_mem_mb": round(memory.peak_mb, 1),
+                "dominant": max(latency.category_ms(), key=latency.category_ms().get),
+            }
+        )
+    print(format_table(rows))
+
+    print("\n== HGNAS design for the Raspberry Pi (Fig. 10 style) ==")
+    architecture = device_fast_architecture("raspberry-pi")
+    print(render_architecture(architecture))
+
+    pi = all_devices()[-1]
+    hgnas = architecture.to_workload(1024, 20, 40)
+    speedup = estimate_latency(dgcnn_workload(1024), pi).total_ms / estimate_latency(hgnas, pi).total_ms
+    print(f"\nSpeedup over DGCNN on {pi.display_name}: {speedup:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""HGNAS reproduction: hardware-aware graph neural architecture search.
+
+This package reproduces the system described in *"Hardware-Aware Graph
+Neural Network Automated Design for Edge Computing Platforms"* (HGNAS,
+DAC 2023) on top of a pure-numpy substrate:
+
+* :mod:`repro.nn` -- a small reverse-mode autograd engine with the layers,
+  optimisers and losses needed to train GNNs.
+* :mod:`repro.graph` -- point-cloud graph operations (KNN graphs, scatter
+  aggregation, message construction).
+* :mod:`repro.data` -- a synthetic ModelNet-style point-cloud classification
+  dataset.
+* :mod:`repro.models` -- DGCNN and the manually optimised baselines.
+* :mod:`repro.hardware` -- analytical edge-device latency/memory models
+  standing in for real RTX3080 / i7-8700K / Jetson TX2 / Raspberry Pi
+  measurements.
+* :mod:`repro.nas` -- the fine-grained design space, one-shot supernet and
+  multi-stage hierarchical evolutionary search (the paper's contribution).
+* :mod:`repro.predictor` -- the GNN-based hardware performance predictor.
+* :mod:`repro.experiments` -- drivers that regenerate every table and figure
+  of the paper's evaluation section.
+
+The most convenient entry points live in :mod:`repro.api`.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,168 @@
+"""High-level convenience API.
+
+These helpers wire together the subsystems for the most common workflows:
+
+* :func:`profile_architecture` — latency/memory/breakdown of an
+  architecture on a device.
+* :func:`train_latency_predictor` — build the GNN latency predictor for a
+  device (paper Sec. III-D).
+* :func:`search_architecture` — run the full hardware-aware search for a
+  device (paper Alg. 1) and return the best architecture with its metrics.
+* :func:`build_model` — instantiate a searched architecture as a trainable
+  stand-alone classifier.
+
+Every function accepts device names (``"rtx3080"``, ``"jetson-tx2"``,
+``"raspberry-pi"``, ``"i7-8700k"`` or aliases such as ``"gpu"``/``"pi"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import InMemoryDataset
+from repro.hardware.device import DeviceSpec, get_device
+from repro.hardware.profiler import ProfileResult, profile_workload
+from repro.nas.architecture import Architecture
+from repro.nas.derived import DerivedModel
+from repro.nas.design_space import DesignSpace, DesignSpaceConfig
+from repro.nas.latency_eval import MeasurementLatencyEvaluator, OracleLatencyEvaluator
+from repro.nas.search import HGNAS, HGNASConfig, SearchResult
+from repro.predictor.dataset import generate_predictor_dataset
+from repro.predictor.evaluator import PredictorLatencyEvaluator
+from repro.predictor.metrics import PredictorMetrics
+from repro.predictor.model import LatencyPredictor, PredictorConfig
+from repro.predictor.train import PredictorTrainingConfig, evaluate_predictor, train_predictor
+
+__all__ = [
+    "profile_architecture",
+    "measure_latency",
+    "train_latency_predictor",
+    "PredictorBundle",
+    "search_architecture",
+    "build_model",
+]
+
+
+def profile_architecture(
+    architecture: Architecture,
+    device: str | DeviceSpec,
+    num_points: int = 1024,
+    k: int = 20,
+    num_classes: int = 40,
+) -> ProfileResult:
+    """Profile an architecture's latency breakdown and memory on a device."""
+    spec = device if isinstance(device, DeviceSpec) else get_device(device)
+    workload = architecture.to_workload(num_points, k, num_classes)
+    return profile_workload(workload, spec)
+
+
+def measure_latency(
+    architecture: Architecture,
+    device: str | DeviceSpec,
+    num_points: int = 1024,
+    k: int = 20,
+    num_classes: int = 40,
+    noisy: bool = False,
+    seed: int = 0,
+) -> float:
+    """Latency (ms) of an architecture on a device, optionally with measurement noise."""
+    spec = device if isinstance(device, DeviceSpec) else get_device(device)
+    if noisy:
+        evaluator = MeasurementLatencyEvaluator(
+            spec, num_points=num_points, k=k, num_classes=num_classes, rng=np.random.default_rng(seed)
+        )
+    else:
+        evaluator = OracleLatencyEvaluator(spec, num_points=num_points, k=k, num_classes=num_classes)
+    return evaluator.evaluate(architecture)
+
+
+@dataclass
+class PredictorBundle:
+    """A trained predictor with its validation metrics."""
+
+    predictor: LatencyPredictor
+    metrics: PredictorMetrics
+    device: str
+
+
+def train_latency_predictor(
+    device: str | DeviceSpec,
+    num_samples: int = 400,
+    num_positions: int = 12,
+    epochs: int = 80,
+    seed: int = 0,
+    predictor_config: PredictorConfig | None = None,
+) -> PredictorBundle:
+    """Sample architectures, label them on the device and train a predictor."""
+    spec = device if isinstance(device, DeviceSpec) else get_device(device)
+    rng = np.random.default_rng(seed)
+    space = DesignSpace(DesignSpaceConfig(num_positions=num_positions, k=20, num_points=1024))
+    dataset = generate_predictor_dataset(space, spec, num_samples, rng)
+    train_split, val_split = dataset.split(0.75, rng)
+    predictor = LatencyPredictor(predictor_config or PredictorConfig(gcn_dims=(32, 48, 48), mlp_dims=(32, 16), seed=seed))
+    train_predictor(
+        predictor,
+        train_split,
+        val_split,
+        PredictorTrainingConfig(epochs=epochs, batch_size=32, learning_rate=1e-2, seed=seed),
+    )
+    return PredictorBundle(predictor=predictor, metrics=evaluate_predictor(predictor, val_split), device=spec.name)
+
+
+def search_architecture(
+    device: str | DeviceSpec,
+    train_dataset: InMemoryDataset,
+    val_dataset: InMemoryDataset,
+    config: HGNASConfig | None = None,
+    latency_oracle: str = "oracle",
+    predictor: LatencyPredictor | None = None,
+    seed: int = 0,
+) -> SearchResult:
+    """Run the hardware-aware search for a target device.
+
+    Args:
+        device: Target device name or spec.
+        train_dataset: Supernet training data.
+        val_dataset: Validation data used by the search objective.
+        config: Search configuration (a laptop-scale default is used if omitted).
+        latency_oracle: ``"oracle"`` (analytical model), ``"measurement"``
+            (noisy, slow simulated measurement) or ``"predictor"`` (requires
+            ``predictor`` or trains a small one on the fly).
+        predictor: Optional pre-trained latency predictor.
+        seed: RNG seed.
+    """
+    spec = device if isinstance(device, DeviceSpec) else get_device(device)
+    config = config or HGNASConfig(num_classes=train_dataset.num_classes, seed=seed)
+    if latency_oracle == "oracle":
+        evaluator = OracleLatencyEvaluator(
+            spec, num_points=config.deploy_num_points, k=config.deploy_k, num_classes=config.num_classes
+        )
+    elif latency_oracle == "measurement":
+        evaluator = MeasurementLatencyEvaluator(
+            spec,
+            num_points=config.deploy_num_points,
+            k=config.deploy_k,
+            num_classes=config.num_classes,
+            rng=np.random.default_rng(seed),
+        )
+    elif latency_oracle == "predictor":
+        if predictor is None:
+            predictor = train_latency_predictor(spec, num_samples=200, num_positions=config.num_positions, epochs=40, seed=seed).predictor
+        evaluator = PredictorLatencyEvaluator(predictor)
+    else:
+        raise ValueError(f"unknown latency oracle '{latency_oracle}'")
+    search = HGNAS(config, train_dataset, val_dataset, evaluator, rng=np.random.default_rng(seed))
+    return search.run()
+
+
+def build_model(
+    architecture: Architecture,
+    num_classes: int,
+    k: int = 10,
+    embed_dim: int = 64,
+    seed: int = 0,
+) -> DerivedModel:
+    """Instantiate a searched architecture as a trainable stand-alone model."""
+    return DerivedModel(architecture, num_classes=num_classes, k=k, embed_dim=embed_dim, seed=seed)

@@ -1,0 +1,386 @@
+"""Parametric 3-D shape generators.
+
+ModelNet40 is not redistributable in this offline environment, so the
+classification benchmark is built from 40 procedurally generated shape
+families.  Each generator samples points on (or near) the surface of a
+parametric solid; per-sample random scaling, anisotropy and noise make the
+classes non-trivial to separate, which is what the relative accuracy
+comparison between architectures needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+__all__ = ["SHAPE_GENERATORS", "generate_shape", "list_shape_names"]
+
+ShapeGenerator = Callable[[int, np.random.Generator], np.ndarray]
+
+
+def _unit_sphere(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniform points on the unit sphere."""
+    vec = rng.normal(size=(n, 3))
+    norms = np.linalg.norm(vec, axis=1, keepdims=True)
+    return vec / np.maximum(norms, 1e-12)
+
+
+def sphere(n: int, rng: np.random.Generator, radius: float = 1.0) -> np.ndarray:
+    """Sphere surface of the given radius."""
+    return radius * _unit_sphere(n, rng)
+
+
+def ellipsoid(n: int, rng: np.random.Generator, axes: tuple[float, float, float] = (1.0, 0.6, 0.4)) -> np.ndarray:
+    """Axis-aligned ellipsoid surface."""
+    return sphere(n, rng) * np.asarray(axes)
+
+
+def box(n: int, rng: np.random.Generator, extents: tuple[float, float, float] = (1.0, 1.0, 1.0)) -> np.ndarray:
+    """Points on the surface of an axis-aligned box."""
+    extents_arr = np.asarray(extents, dtype=np.float64)
+    faces = rng.integers(0, 6, size=n)
+    points = rng.uniform(-1.0, 1.0, size=(n, 3))
+    axis = faces // 2
+    sign = np.where(faces % 2 == 0, 1.0, -1.0)
+    points[np.arange(n), axis] = sign
+    return points * extents_arr
+
+
+def cylinder(n: int, rng: np.random.Generator, radius: float = 0.5, height: float = 1.5) -> np.ndarray:
+    """Cylinder side surface plus caps."""
+    points = np.empty((n, 3))
+    n_side = int(0.7 * n)
+    theta = rng.uniform(0, 2 * np.pi, size=n_side)
+    z = rng.uniform(-height / 2, height / 2, size=n_side)
+    points[:n_side] = np.stack([radius * np.cos(theta), radius * np.sin(theta), z], axis=1)
+    n_caps = n - n_side
+    theta = rng.uniform(0, 2 * np.pi, size=n_caps)
+    r = radius * np.sqrt(rng.uniform(0, 1, size=n_caps))
+    z = np.where(rng.random(n_caps) < 0.5, height / 2, -height / 2)
+    points[n_side:] = np.stack([r * np.cos(theta), r * np.sin(theta), z], axis=1)
+    return points
+
+
+def cone(n: int, rng: np.random.Generator, radius: float = 0.7, height: float = 1.4) -> np.ndarray:
+    """Cone surface (apex up) plus base disk."""
+    points = np.empty((n, 3))
+    n_side = int(0.75 * n)
+    u = np.sqrt(rng.uniform(0, 1, size=n_side))
+    theta = rng.uniform(0, 2 * np.pi, size=n_side)
+    r = radius * u
+    z = height * (1 - u) - height / 2
+    points[:n_side] = np.stack([r * np.cos(theta), r * np.sin(theta), z], axis=1)
+    n_base = n - n_side
+    theta = rng.uniform(0, 2 * np.pi, size=n_base)
+    r = radius * np.sqrt(rng.uniform(0, 1, size=n_base))
+    points[n_side:] = np.stack([r * np.cos(theta), r * np.sin(theta), np.full(n_base, -height / 2)], axis=1)
+    return points
+
+
+def torus(n: int, rng: np.random.Generator, major: float = 0.8, minor: float = 0.25) -> np.ndarray:
+    """Torus surface."""
+    u = rng.uniform(0, 2 * np.pi, size=n)
+    v = rng.uniform(0, 2 * np.pi, size=n)
+    x = (major + minor * np.cos(v)) * np.cos(u)
+    y = (major + minor * np.cos(v)) * np.sin(u)
+    z = minor * np.sin(v)
+    return np.stack([x, y, z], axis=1)
+
+
+def pyramid(n: int, rng: np.random.Generator, base: float = 1.0, height: float = 1.2) -> np.ndarray:
+    """Square pyramid surface."""
+    apex = np.array([0.0, 0.0, height / 2])
+    corners = np.array(
+        [
+            [-base / 2, -base / 2, -height / 2],
+            [base / 2, -base / 2, -height / 2],
+            [base / 2, base / 2, -height / 2],
+            [-base / 2, base / 2, -height / 2],
+        ]
+    )
+    points = np.empty((n, 3))
+    which = rng.integers(0, 5, size=n)
+    for i in range(n):
+        if which[i] == 4:
+            u, v = rng.uniform(0, 1, size=2)
+            points[i] = corners[0] + u * (corners[1] - corners[0]) + v * (corners[3] - corners[0])
+        else:
+            a = corners[which[i]]
+            b = corners[(which[i] + 1) % 4]
+            u, v = rng.uniform(0, 1, size=2)
+            if u + v > 1:
+                u, v = 1 - u, 1 - v
+            points[i] = a + u * (b - a) + v * (apex - a)
+    return points
+
+
+def helix(n: int, rng: np.random.Generator, turns: float = 3.0, radius: float = 0.7, pitch: float = 0.5) -> np.ndarray:
+    """Helical tube sampled with small radial noise."""
+    t = rng.uniform(0, turns * 2 * np.pi, size=n)
+    jitter = rng.normal(scale=0.05, size=(n, 3))
+    x = radius * np.cos(t)
+    y = radius * np.sin(t)
+    z = pitch * t / (2 * np.pi) - (pitch * turns) / 2
+    return np.stack([x, y, z], axis=1) + jitter
+
+
+def plane(n: int, rng: np.random.Generator, width: float = 1.6, depth: float = 1.6) -> np.ndarray:
+    """Thin flat plate."""
+    x = rng.uniform(-width / 2, width / 2, size=n)
+    y = rng.uniform(-depth / 2, depth / 2, size=n)
+    z = rng.normal(scale=0.02, size=n)
+    return np.stack([x, y, z], axis=1)
+
+
+def disk(n: int, rng: np.random.Generator, radius: float = 1.0) -> np.ndarray:
+    """Thin circular disk."""
+    theta = rng.uniform(0, 2 * np.pi, size=n)
+    r = radius * np.sqrt(rng.uniform(0, 1, size=n))
+    z = rng.normal(scale=0.02, size=n)
+    return np.stack([r * np.cos(theta), r * np.sin(theta), z], axis=1)
+
+
+def annulus(n: int, rng: np.random.Generator, inner: float = 0.5, outer: float = 1.0) -> np.ndarray:
+    """Flat ring (washer)."""
+    theta = rng.uniform(0, 2 * np.pi, size=n)
+    r = np.sqrt(rng.uniform(inner**2, outer**2, size=n))
+    z = rng.normal(scale=0.02, size=n)
+    return np.stack([r * np.cos(theta), r * np.sin(theta), z], axis=1)
+
+
+def capsule(n: int, rng: np.random.Generator, radius: float = 0.4, height: float = 1.0) -> np.ndarray:
+    """Cylinder with hemispherical caps."""
+    points = cylinder(n, rng, radius=radius, height=height)
+    caps = np.abs(points[:, 2]) >= height / 2 - 1e-9
+    hemis = radius * _unit_sphere(int(caps.sum()), rng)
+    hemis[:, 2] = np.abs(hemis[:, 2]) * np.sign(points[caps, 2])
+    hemis[:, 2] += np.sign(points[caps, 2]) * height / 2
+    points[caps] = hemis
+    return points
+
+
+def hemisphere(n: int, rng: np.random.Generator, radius: float = 1.0) -> np.ndarray:
+    """Upper half-sphere plus base disk."""
+    points = radius * _unit_sphere(n, rng)
+    flip = points[:, 2] < 0
+    points[flip, 2] *= -1
+    base = rng.random(n) < 0.25
+    theta = rng.uniform(0, 2 * np.pi, size=int(base.sum()))
+    r = radius * np.sqrt(rng.uniform(0, 1, size=int(base.sum())))
+    points[base] = np.stack([r * np.cos(theta), r * np.sin(theta), np.zeros_like(r)], axis=1)
+    return points
+
+
+def cross_prism(n: int, rng: np.random.Generator, arm: float = 1.0, width: float = 0.3) -> np.ndarray:
+    """A plus-sign shaped prism."""
+    points = np.empty((n, 3))
+    horizontal = rng.random(n) < 0.5
+    points[:, 0] = np.where(
+        horizontal, rng.uniform(-arm, arm, size=n), rng.uniform(-width, width, size=n)
+    )
+    points[:, 1] = np.where(
+        horizontal, rng.uniform(-width, width, size=n), rng.uniform(-arm, arm, size=n)
+    )
+    points[:, 2] = rng.uniform(-width, width, size=n)
+    return points
+
+
+def l_shape(n: int, rng: np.random.Generator, size: float = 1.0, thickness: float = 0.35) -> np.ndarray:
+    """An L-shaped (angle bracket) solid."""
+    points = np.empty((n, 3))
+    vertical = rng.random(n) < 0.5
+    points[:, 0] = np.where(
+        vertical, rng.uniform(-size / 2, -size / 2 + thickness, size=n), rng.uniform(-size / 2, size / 2, size=n)
+    )
+    points[:, 2] = np.where(
+        vertical, rng.uniform(-size / 2, size / 2, size=n), rng.uniform(-size / 2, -size / 2 + thickness, size=n)
+    )
+    points[:, 1] = rng.uniform(-thickness, thickness, size=n)
+    return points
+
+
+def saddle(n: int, rng: np.random.Generator, scale: float = 1.0) -> np.ndarray:
+    """Hyperbolic paraboloid patch (z = x^2 - y^2)."""
+    x = rng.uniform(-1, 1, size=n)
+    y = rng.uniform(-1, 1, size=n)
+    z = scale * (x**2 - y**2) * 0.7
+    return np.stack([x, y, z], axis=1)
+
+
+def paraboloid(n: int, rng: np.random.Generator, scale: float = 1.0) -> np.ndarray:
+    """Bowl-shaped paraboloid patch (z = x^2 + y^2)."""
+    theta = rng.uniform(0, 2 * np.pi, size=n)
+    r = np.sqrt(rng.uniform(0, 1, size=n))
+    x, y = r * np.cos(theta), r * np.sin(theta)
+    z = scale * (x**2 + y**2) - 0.5
+    return np.stack([x, y, z], axis=1)
+
+
+def wave_plate(n: int, rng: np.random.Generator, frequency: float = 3.0, amplitude: float = 0.25) -> np.ndarray:
+    """Sinusoidally corrugated plate."""
+    x = rng.uniform(-1, 1, size=n)
+    y = rng.uniform(-1, 1, size=n)
+    z = amplitude * np.sin(frequency * np.pi * x)
+    return np.stack([x, y, z], axis=1)
+
+
+def spiral_disk(n: int, rng: np.random.Generator, turns: float = 2.5) -> np.ndarray:
+    """Archimedean spiral ribbon in the plane."""
+    t = rng.uniform(0.15, 1.0, size=n)
+    theta = turns * 2 * np.pi * t
+    r = t
+    width = rng.normal(scale=0.04, size=n)
+    x = (r + width) * np.cos(theta)
+    y = (r + width) * np.sin(theta)
+    z = rng.normal(scale=0.03, size=n)
+    return np.stack([x, y, z], axis=1)
+
+
+def double_sphere(n: int, rng: np.random.Generator, separation: float = 1.0, radius: float = 0.5) -> np.ndarray:
+    """Two spheres separated along x (dumbbell without the bar)."""
+    points = radius * _unit_sphere(n, rng)
+    offset = np.where(rng.random(n) < 0.5, separation / 2, -separation / 2)
+    points[:, 0] += offset
+    return points
+
+
+def dumbbell(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Two spheres connected by a thin cylinder."""
+    points = double_sphere(int(0.7 * n), rng)
+    n_bar = n - points.shape[0]
+    bar = cylinder(n_bar, rng, radius=0.12, height=1.0)
+    # Rotate the bar to lie along x.
+    bar = bar[:, [2, 1, 0]]
+    return np.concatenate([points, bar], axis=0)
+
+
+def stairs(n: int, rng: np.random.Generator, steps: int = 4) -> np.ndarray:
+    """Staircase profile extruded along y."""
+    which = rng.integers(0, steps, size=n)
+    x = (which + rng.uniform(0, 1, size=n)) / steps - 0.5
+    z = (which + (rng.random(n) < 0.5)) / steps - 0.5
+    y = rng.uniform(-0.5, 0.5, size=n)
+    return np.stack([x, y, z], axis=1)
+
+
+def tetrahedron(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Regular tetrahedron surface."""
+    vertices = np.array(
+        [[1, 1, 1], [1, -1, -1], [-1, 1, -1], [-1, -1, 1]], dtype=np.float64
+    ) / np.sqrt(3)
+    faces = [(0, 1, 2), (0, 1, 3), (0, 2, 3), (1, 2, 3)]
+    which = rng.integers(0, 4, size=n)
+    u = rng.uniform(0, 1, size=n)
+    v = rng.uniform(0, 1, size=n)
+    swap = u + v > 1
+    u[swap], v[swap] = 1 - u[swap], 1 - v[swap]
+    points = np.empty((n, 3))
+    for i, face in enumerate(faces):
+        mask = which == i
+        a, b, c = vertices[face[0]], vertices[face[1]], vertices[face[2]]
+        points[mask] = a + u[mask, None] * (b - a) + v[mask, None] * (c - a)
+    return points
+
+
+def octahedron(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Regular octahedron surface (L1 ball boundary)."""
+    points = rng.normal(size=(n, 3))
+    norms = np.abs(points).sum(axis=1, keepdims=True)
+    return points / np.maximum(norms, 1e-12)
+
+
+def cross_cylinders(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Three orthogonal cylinders crossing at the origin."""
+    which = rng.integers(0, 3, size=n)
+    base = cylinder(n, rng, radius=0.25, height=1.6)
+    points = np.empty_like(base)
+    points[which == 0] = base[which == 0]
+    points[which == 1] = base[which == 1][:, [2, 0, 1]]
+    points[which == 2] = base[which == 2][:, [1, 2, 0]]
+    return points
+
+
+def _scaled(generator: ShapeGenerator, **kwargs) -> ShapeGenerator:
+    """Bind keyword arguments onto a generator to create a shape variant."""
+
+    def wrapped(n: int, rng: np.random.Generator) -> np.ndarray:
+        return generator(n, rng, **kwargs)
+
+    return wrapped
+
+
+#: Registry of the 40 shape classes; the ordering defines the label indices.
+SHAPE_GENERATORS: Dict[str, ShapeGenerator] = {
+    "sphere": sphere,
+    "ellipsoid_flat": _scaled(ellipsoid, axes=(1.0, 0.8, 0.3)),
+    "ellipsoid_long": _scaled(ellipsoid, axes=(1.0, 0.4, 0.4)),
+    "cube": _scaled(box, extents=(1.0, 1.0, 1.0)),
+    "box_flat": _scaled(box, extents=(1.0, 1.0, 0.25)),
+    "box_long": _scaled(box, extents=(1.2, 0.4, 0.4)),
+    "cylinder": cylinder,
+    "cylinder_thin": _scaled(cylinder, radius=0.2, height=1.8),
+    "cylinder_squat": _scaled(cylinder, radius=0.9, height=0.5),
+    "cone": cone,
+    "cone_narrow": _scaled(cone, radius=0.35, height=1.7),
+    "torus": torus,
+    "torus_thick": _scaled(torus, major=0.7, minor=0.4),
+    "torus_thin": _scaled(torus, major=0.9, minor=0.12),
+    "pyramid": pyramid,
+    "pyramid_tall": _scaled(pyramid, base=0.7, height=1.8),
+    "helix": helix,
+    "helix_tight": _scaled(helix, turns=5.0, radius=0.5, pitch=0.3),
+    "plane": plane,
+    "plane_narrow": _scaled(plane, width=2.0, depth=0.6),
+    "disk": disk,
+    "annulus": annulus,
+    "annulus_narrow": _scaled(annulus, inner=0.8, outer=1.0),
+    "capsule": capsule,
+    "capsule_long": _scaled(capsule, radius=0.25, height=1.6),
+    "hemisphere": hemisphere,
+    "cross_prism": cross_prism,
+    "cross_prism_wide": _scaled(cross_prism, arm=1.0, width=0.5),
+    "l_shape": l_shape,
+    "l_shape_thick": _scaled(l_shape, size=1.0, thickness=0.55),
+    "saddle": saddle,
+    "paraboloid": paraboloid,
+    "wave_plate": wave_plate,
+    "wave_plate_fine": _scaled(wave_plate, frequency=6.0, amplitude=0.15),
+    "spiral_disk": spiral_disk,
+    "double_sphere": double_sphere,
+    "dumbbell": dumbbell,
+    "stairs": stairs,
+    "tetrahedron": tetrahedron,
+    "octahedron": octahedron,
+}
+
+# A 41st generator exists for completeness but keeping exactly 40 classes
+# mirrors ModelNet40; cross_cylinders is exposed for tests/extensions.
+EXTRA_GENERATORS: Dict[str, ShapeGenerator] = {"cross_cylinders": cross_cylinders}
+
+
+def list_shape_names() -> list[str]:
+    """Return the 40 class names in label order."""
+    return list(SHAPE_GENERATORS.keys())
+
+
+def generate_shape(name: str, num_points: int, rng: np.random.Generator) -> np.ndarray:
+    """Generate ``num_points`` points from the named shape family.
+
+    Args:
+        name: Shape name from :func:`list_shape_names` (or an extra shape).
+        num_points: Number of points to sample (positive).
+        rng: Random generator.
+
+    Returns:
+        Array of shape ``(num_points, 3)``.
+    """
+    if num_points <= 0:
+        raise ValueError(f"num_points must be positive, got {num_points}")
+    generator = SHAPE_GENERATORS.get(name) or EXTRA_GENERATORS.get(name)
+    if generator is None:
+        raise KeyError(f"unknown shape '{name}'")
+    points = generator(num_points, rng)
+    if points.shape != (num_points, 3):
+        raise RuntimeError(f"shape generator '{name}' returned {points.shape}, expected {(num_points, 3)}")
+    return points

@@ -1,0 +1,63 @@
+"""Train/validation/test splitting utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import InMemoryDataset
+
+__all__ = ["stratified_split", "train_val_test_split"]
+
+
+def stratified_split(
+    dataset: InMemoryDataset,
+    fractions: tuple[float, ...],
+    rng: np.random.Generator,
+) -> list[InMemoryDataset]:
+    """Split a dataset into parts with (approximately) equal class balance.
+
+    Args:
+        dataset: Dataset to split.
+        fractions: Positive fractions summing to 1 (within 1e-6).
+        rng: Random generator used to shuffle within classes.
+
+    Returns:
+        One :class:`InMemoryDataset` per fraction, in order.
+    """
+    fractions = tuple(float(f) for f in fractions)
+    if any(f <= 0 for f in fractions):
+        raise ValueError(f"all fractions must be positive, got {fractions}")
+    if abs(sum(fractions) - 1.0) > 1e-6:
+        raise ValueError(f"fractions must sum to 1, got {sum(fractions)}")
+
+    labels = dataset.labels()
+    part_indices: list[list[int]] = [[] for _ in fractions]
+    for cls in np.unique(labels):
+        cls_indices = np.flatnonzero(labels == cls)
+        rng.shuffle(cls_indices)
+        counts = np.floor(np.array(fractions) * len(cls_indices)).astype(int)
+        # Distribute the remainder to the largest fractions first.
+        remainder = len(cls_indices) - counts.sum()
+        order = np.argsort(fractions)[::-1]
+        for i in range(remainder):
+            counts[order[i % len(order)]] += 1
+        start = 0
+        for part, count in enumerate(counts):
+            part_indices[part].extend(cls_indices[start : start + count].tolist())
+            start += count
+    return [dataset.subset(sorted(indices)) for indices in part_indices]
+
+
+def train_val_test_split(
+    dataset: InMemoryDataset,
+    val_fraction: float = 0.15,
+    test_fraction: float = 0.15,
+    rng: np.random.Generator | None = None,
+) -> tuple[InMemoryDataset, InMemoryDataset, InMemoryDataset]:
+    """Convenience wrapper returning stratified train/val/test datasets."""
+    if val_fraction <= 0 or test_fraction <= 0 or val_fraction + test_fraction >= 1:
+        raise ValueError("val_fraction and test_fraction must be positive and sum below 1")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    train_frac = 1.0 - val_fraction - test_fraction
+    train, val, test = stratified_split(dataset, (train_frac, val_fraction, test_fraction), rng)
+    return train, val, test

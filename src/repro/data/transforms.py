@@ -1,0 +1,89 @@
+"""Point-cloud transforms and augmentations."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+__all__ = [
+    "normalize_unit_sphere",
+    "random_rotate_z",
+    "random_jitter",
+    "random_scale",
+    "random_point_dropout",
+    "Compose",
+]
+
+Transform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+def _check_points(points: np.ndarray) -> np.ndarray:
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 3:
+        raise ValueError(f"points must have shape (N, 3), got {points.shape}")
+    return points
+
+
+def normalize_unit_sphere(points: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Centre the cloud at the origin and scale it into the unit sphere."""
+    points = _check_points(points)
+    centred = points - points.mean(axis=0, keepdims=True)
+    scale = np.max(np.linalg.norm(centred, axis=1))
+    return centred / max(scale, 1e-12)
+
+
+def random_rotate_z(points: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Rotate the cloud by a random angle around the z axis."""
+    points = _check_points(points)
+    angle = rng.uniform(0, 2 * np.pi)
+    cos, sin = np.cos(angle), np.sin(angle)
+    rotation = np.array([[cos, -sin, 0.0], [sin, cos, 0.0], [0.0, 0.0, 1.0]])
+    return points @ rotation.T
+
+
+def random_jitter(points: np.ndarray, rng: np.random.Generator, sigma: float = 0.01, clip: float = 0.05) -> np.ndarray:
+    """Add clipped Gaussian noise to every coordinate."""
+    points = _check_points(points)
+    if sigma < 0 or clip <= 0:
+        raise ValueError("sigma must be >= 0 and clip > 0")
+    noise = np.clip(rng.normal(scale=sigma, size=points.shape), -clip, clip)
+    return points + noise
+
+
+def random_scale(points: np.ndarray, rng: np.random.Generator, low: float = 0.8, high: float = 1.25) -> np.ndarray:
+    """Scale the cloud by a random isotropic factor in ``[low, high]``."""
+    points = _check_points(points)
+    if not 0 < low <= high:
+        raise ValueError(f"invalid scale range [{low}, {high}]")
+    return points * rng.uniform(low, high)
+
+
+def random_point_dropout(
+    points: np.ndarray, rng: np.random.Generator, max_dropout: float = 0.5
+) -> np.ndarray:
+    """Randomly replace a fraction of points with the first point (PointNet-style dropout)."""
+    points = _check_points(points)
+    if not 0 <= max_dropout < 1:
+        raise ValueError(f"max_dropout must be in [0, 1), got {max_dropout}")
+    ratio = rng.uniform(0, max_dropout)
+    mask = rng.random(points.shape[0]) < ratio
+    if mask.any():
+        points = points.copy()
+        points[mask] = points[0]
+    return points
+
+
+class Compose:
+    """Apply a sequence of transforms in order."""
+
+    def __init__(self, transforms: Iterable[Transform]):
+        self.transforms = list(transforms)
+
+    def __call__(self, points: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for transform in self.transforms:
+            points = transform(points, rng)
+        return points
+
+    def __len__(self) -> int:
+        return len(self.transforms)

@@ -1,0 +1,78 @@
+"""Shared plumbing for the experiment drivers.
+
+Every experiment driver returns plain dictionaries / dataclasses (no
+plotting) so the same code serves unit tests, pytest benchmarks and the
+runnable examples.  ``format_table`` renders rows for console output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.data.dataset import InMemoryDataset
+from repro.data.synthetic_modelnet import make_synthetic_modelnet
+from repro.hardware.device import DeviceSpec, all_devices, get_device
+
+__all__ = ["ExperimentScale", "resolve_devices", "load_benchmark_dataset", "format_table"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs controlling how heavy an experiment run is.
+
+    The defaults keep every experiment runnable in seconds on a laptop CPU;
+    the paper-scale values are documented next to each driver.
+    """
+
+    num_classes: int = 10
+    samples_per_class: int = 8
+    num_points: int = 48
+    train_epochs: int = 4
+    batch_size: int = 8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_classes <= 1 or self.samples_per_class <= 0 or self.num_points <= 0:
+            raise ValueError("dataset scale parameters must be positive")
+        if self.train_epochs <= 0 or self.batch_size <= 0:
+            raise ValueError("training scale parameters must be positive")
+
+
+def resolve_devices(devices: Sequence[str] | None = None) -> list[DeviceSpec]:
+    """Map device names (or ``None`` for all four paper devices) to specs."""
+    if devices is None:
+        return all_devices()
+    return [get_device(name) for name in devices]
+
+
+def load_benchmark_dataset(scale: ExperimentScale) -> tuple[InMemoryDataset, InMemoryDataset]:
+    """Generate the synthetic classification dataset at the requested scale."""
+    return make_synthetic_modelnet(
+        num_classes=scale.num_classes,
+        samples_per_class=scale.samples_per_class,
+        num_points=scale.num_points,
+        seed=scale.seed,
+    )
+
+
+def format_table(rows: Iterable[Mapping[str, object]], columns: Sequence[str] | None = None) -> str:
+    """Render a list of row dictionaries as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+
+    def fmt(value: object) -> str:
+        if isinstance(value, (float, np.floating)):
+            return f"{float(value):.3f}"
+        return str(value)
+
+    rendered = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))) for r in rendered)
+    return "\n".join([header, separator, body])

@@ -1,0 +1,69 @@
+"""Fig. 10 — visualisation and characterisation of the per-device designs.
+
+The paper's insight: hardware-efficient architectures mirror the bottleneck
+of their target device — fewer valid KNN constructions on RTX3080/TX2
+(sample-bound), fewer aggregations on the Intel CPU (aggregate-bound), and
+simplified everything on the Raspberry Pi.  This experiment renders the
+per-device architectures (the Fig. 10 presets by default, or searched ones
+when provided) and reports their operation counts and modelled latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.experiments.common import resolve_devices
+from repro.hardware.latency import estimate_latency
+from repro.hardware.reference_workloads import PAPER_DGCNN_K, PAPER_NUM_CLASSES, dgcnn_workload
+from repro.nas.architecture import Architecture
+from repro.nas.presets import device_fast_architecture
+from repro.nas.visualize import architecture_summary, render_architecture
+
+__all__ = ["ArchitectureReport", "run_fig10"]
+
+
+@dataclass(frozen=True)
+class ArchitectureReport:
+    """Rendered architecture plus headline statistics for one device."""
+
+    device: str
+    name: str
+    rendering: str
+    num_samples: int
+    num_aggregates: int
+    num_combines: int
+    latency_ms: float
+    speedup_vs_dgcnn: float
+
+
+def run_fig10(
+    devices: Sequence[str] | None = None,
+    architectures: Mapping[str, Architecture] | None = None,
+    num_points: int = 1024,
+) -> list[ArchitectureReport]:
+    """Render the per-device architecture and report its op counts."""
+    reports: list[ArchitectureReport] = []
+    for device in resolve_devices(devices):
+        architecture = (
+            architectures[device.name]
+            if architectures is not None and device.name in architectures
+            else device_fast_architecture(device.name)
+        )
+        summary = architecture_summary(architecture)
+        workload = architecture.to_workload(num_points, PAPER_DGCNN_K, PAPER_NUM_CLASSES)
+        latency = estimate_latency(workload, device).total_ms
+        dgcnn_latency = estimate_latency(dgcnn_workload(num_points), device).total_ms
+        reports.append(
+            ArchitectureReport(
+                device=device.name,
+                name=str(summary["name"]),
+                rendering=render_architecture(architecture, title=f"{device.display_name} design"),
+                num_samples=int(summary["num_samples"]),
+                num_aggregates=int(summary["num_aggregates"]),
+                num_combines=int(summary["num_combines"]),
+                latency_ms=latency,
+                speedup_vs_dgcnn=dgcnn_latency / latency,
+            )
+        )
+    return reports

@@ -1,0 +1,45 @@
+"""Fig. 3 — execution-time breakdown of DGCNN across the four platforms."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import resolve_devices
+from repro.hardware.profiler import profile_workload
+from repro.hardware.reference_workloads import dgcnn_workload
+
+__all__ = ["run_fig3", "PAPER_BREAKDOWN_REFERENCE"]
+
+#: The paper's reported breakdown fractions (Fig. 3), for comparison.
+PAPER_BREAKDOWN_REFERENCE = {
+    "rtx3080": {"sample": 0.8744, "aggregate": 0.0176, "combine": 0.0085, "others": 0.0995},
+    "i7-8700k": {"sample": 0.3313, "aggregate": 0.5326, "combine": 0.0542, "others": 0.0819},
+    "jetson-tx2": {"sample": 0.5088, "aggregate": 0.1170, "combine": 0.0817, "others": 0.2925},
+    "raspberry-pi": {"sample": 0.2246, "aggregate": 0.3355, "combine": 0.2732, "others": 0.1666},
+}
+
+
+def run_fig3(
+    devices: Sequence[str] | None = None,
+    num_points: int = 1024,
+) -> list[dict[str, object]]:
+    """Profile DGCNN on every device and report the per-category breakdown."""
+    workload = dgcnn_workload(num_points)
+    rows: list[dict[str, object]] = []
+    for device in resolve_devices(devices):
+        profile = profile_workload(workload, device)
+        row: dict[str, object] = {
+            "device": device.name,
+            "display_name": device.display_name,
+            "total_latency_ms": profile.total_latency_ms,
+            "dominant_category": profile.dominant_category(),
+        }
+        for category, fraction in profile.category_fractions.items():
+            row[f"{category}_fraction"] = fraction
+        reference = PAPER_BREAKDOWN_REFERENCE.get(device.name)
+        if reference is not None:
+            row["max_abs_error_vs_paper"] = max(
+                abs(row[f"{category}_fraction"] - value) for category, value in reference.items()
+            )
+        rows.append(row)
+    return rows

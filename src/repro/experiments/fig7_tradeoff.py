@@ -1,0 +1,102 @@
+"""Fig. 7 — accuracy / speedup trade-off controlled by the alpha:beta ratio.
+
+The paper sweeps the scaling factors of the search objective (Eq. 1/3):
+small alpha:beta favours latency (high speedup, lower accuracy), large
+alpha:beta favours accuracy.  Each ratio triggers a (scaled-down) HGNAS run
+and the best architecture's weight-sharing accuracy and speedup over DGCNN
+on the target device are reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.common import ExperimentScale, load_benchmark_dataset
+from repro.hardware.device import get_device
+from repro.hardware.latency import estimate_latency
+from repro.hardware.reference_workloads import dgcnn_workload
+from repro.nas.latency_eval import OracleLatencyEvaluator
+from repro.nas.objective import ObjectiveConfig
+from repro.nas.search import HGNAS, HGNASConfig
+
+__all__ = ["TradeoffPoint", "PAPER_RATIOS", "run_fig7"]
+
+#: alpha:beta ratios swept in the paper's Fig. 7.
+PAPER_RATIOS = (0.1, 0.2, 1.0, 2.0, 5.0, 10.0)
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """Search outcome for one alpha:beta ratio."""
+
+    ratio: float
+    accuracy: float
+    latency_ms: float
+    speedup_vs_dgcnn: float
+    num_samples: int
+    num_aggregates: int
+
+
+def run_fig7(
+    ratios: Sequence[float] = PAPER_RATIOS,
+    device_name: str = "rtx3080",
+    scale: ExperimentScale | None = None,
+    search_config: HGNASConfig | None = None,
+) -> list[TradeoffPoint]:
+    """Run one (scaled-down) search per ratio and report the trade-off curve."""
+    scale = scale or ExperimentScale()
+    train_set, val_set = load_benchmark_dataset(scale)
+    device = get_device(device_name)
+    dgcnn_latency = estimate_latency(dgcnn_workload(1024), device).total_ms
+    base_config = search_config or HGNASConfig(
+        num_positions=6,
+        hidden_dim=16,
+        supernet_k=min(6, scale.num_points - 1),
+        num_classes=scale.num_classes,
+        population_size=6,
+        function_iterations=2,
+        operation_iterations=4,
+        function_epochs=1,
+        operation_epochs=2,
+        batch_size=scale.batch_size,
+        eval_max_batches=2,
+        seed=scale.seed,
+    )
+
+    points: list[TradeoffPoint] = []
+    for ratio in ratios:
+        if ratio <= 0:
+            raise ValueError("alpha:beta ratios must be positive")
+        objective = ObjectiveConfig(
+            alpha=float(ratio),
+            beta=1.0,
+            latency_constraint_ms=float("inf"),
+            latency_scale_ms=dgcnn_latency,
+        )
+        evaluator = OracleLatencyEvaluator(
+            device, num_points=1024, k=20, num_classes=scale.num_classes
+        )
+        search = HGNAS(
+            base_config,
+            train_set,
+            val_set,
+            evaluator,
+            objective=objective,
+            rng=np.random.default_rng(base_config.seed),
+        )
+        result = search.run()
+        best = result.best_architecture
+        points.append(
+            TradeoffPoint(
+                ratio=float(ratio),
+                accuracy=result.best_accuracy,
+                latency_ms=result.best_latency_ms,
+                speedup_vs_dgcnn=dgcnn_latency / max(result.best_latency_ms, 1e-9),
+                num_samples=best.num_valid_samples(),
+                num_aggregates=sum(1 for op in best.effective_ops() if op.kind == "aggregate"),
+            )
+        )
+    return points

@@ -1,0 +1,148 @@
+"""Fig. 9 — search ablations.
+
+(a) *Predictor vs real-time measurement*: the same hardware-aware operation
+search driven either by the GNN latency predictor (millisecond queries) or
+by simulated on-device measurement (seconds-to-minutes per query, noisy).
+Both should converge to similar objective scores, but the measurement-based
+search spends far more (virtual) wall-clock time.
+
+(b) *Multi-stage vs one-stage*: the hierarchical strategy (Alg. 1) against
+a single evolutionary search over the joint operation+function space with
+the same budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.common import ExperimentScale, load_benchmark_dataset
+from repro.hardware.device import get_device
+from repro.nas.design_space import DesignSpace, DesignSpaceConfig
+from repro.nas.evolution import HistoryPoint
+from repro.nas.latency_eval import MeasurementLatencyEvaluator, OracleLatencyEvaluator
+from repro.nas.search import HGNAS, HGNASConfig
+from repro.predictor.dataset import generate_predictor_dataset
+from repro.predictor.evaluator import PredictorLatencyEvaluator
+from repro.predictor.model import LatencyPredictor, PredictorConfig
+from repro.predictor.train import PredictorTrainingConfig, train_predictor
+
+__all__ = ["AblationRun", "run_fig9a", "run_fig9b", "default_ablation_config"]
+
+
+@dataclass(frozen=True)
+class AblationRun:
+    """Result of one ablation search run."""
+
+    label: str
+    device: str
+    best_score: float
+    best_latency_ms: float
+    search_time_s: float
+    history: tuple[HistoryPoint, ...]
+
+
+def default_ablation_config(scale: ExperimentScale) -> HGNASConfig:
+    """A small but complete search configuration for the ablations."""
+    return HGNASConfig(
+        num_positions=6,
+        hidden_dim=16,
+        supernet_k=min(6, scale.num_points - 1),
+        num_classes=scale.num_classes,
+        population_size=6,
+        function_iterations=2,
+        operation_iterations=5,
+        function_epochs=1,
+        operation_epochs=2,
+        batch_size=scale.batch_size,
+        eval_max_batches=2,
+        seed=scale.seed,
+    )
+
+
+def _train_quick_predictor(
+    device_name: str, num_positions: int, num_samples: int, seed: int
+) -> LatencyPredictor:
+    """Train a small predictor used by the predictor-based ablation arm."""
+    rng = np.random.default_rng(seed)
+    space = DesignSpace(DesignSpaceConfig(num_positions=num_positions, k=20, num_points=1024))
+    device = get_device(device_name)
+    dataset = generate_predictor_dataset(space, device, num_samples, rng)
+    train_split, val_split = dataset.split(0.8, rng)
+    predictor = LatencyPredictor(PredictorConfig(gcn_dims=(24, 32, 32), mlp_dims=(24, 12), seed=seed))
+    train_predictor(
+        predictor,
+        train_split,
+        val_split,
+        PredictorTrainingConfig(epochs=40, batch_size=32, learning_rate=1e-2, seed=seed),
+    )
+    return predictor
+
+
+def run_fig9a(
+    devices: Sequence[str] = ("rtx3080", "i7-8700k"),
+    scale: ExperimentScale | None = None,
+    config: HGNASConfig | None = None,
+    predictor_samples: int = 200,
+) -> list[AblationRun]:
+    """Predictor-based vs measurement-based hardware awareness (Fig. 9a)."""
+    scale = scale or ExperimentScale()
+    config = config or default_ablation_config(scale)
+    train_set, val_set = load_benchmark_dataset(scale)
+    runs: list[AblationRun] = []
+    for device_name in devices:
+        device = get_device(device_name)
+        predictor = _train_quick_predictor(device_name, config.num_positions, predictor_samples, scale.seed)
+        evaluators = {
+            "prediction": PredictorLatencyEvaluator(predictor),
+            "real-time": MeasurementLatencyEvaluator(
+                device, num_points=1024, k=20, num_classes=scale.num_classes,
+                rng=np.random.default_rng(scale.seed),
+            ),
+        }
+        for label, evaluator in evaluators.items():
+            search = HGNAS(
+                config, train_set, val_set, evaluator, rng=np.random.default_rng(config.seed)
+            )
+            result = search.run()
+            runs.append(
+                AblationRun(
+                    label=label,
+                    device=device_name,
+                    best_score=result.best_score,
+                    best_latency_ms=result.best_latency_ms,
+                    search_time_s=result.search_time_s,
+                    history=tuple(result.history),
+                )
+            )
+    return runs
+
+
+def run_fig9b(
+    device_name: str = "rtx3080",
+    scale: ExperimentScale | None = None,
+    config: HGNASConfig | None = None,
+) -> list[AblationRun]:
+    """Multi-stage vs one-stage search strategy (Fig. 9b)."""
+    scale = scale or ExperimentScale()
+    config = config or default_ablation_config(scale)
+    train_set, val_set = load_benchmark_dataset(scale)
+    device = get_device(device_name)
+    runs: list[AblationRun] = []
+    for label in ("multi-stage", "one-stage"):
+        evaluator = OracleLatencyEvaluator(device, num_points=1024, k=20, num_classes=scale.num_classes)
+        search = HGNAS(config, train_set, val_set, evaluator, rng=np.random.default_rng(config.seed))
+        result = search.run() if label == "multi-stage" else search.run_one_stage()
+        runs.append(
+            AblationRun(
+                label=label,
+                device=device_name,
+                best_score=result.best_score,
+                best_latency_ms=result.best_latency_ms,
+                search_time_s=result.search_time_s,
+                history=tuple(result.history),
+            )
+        )
+    return runs

@@ -1,0 +1,216 @@
+"""Table II — HGNAS vs DGCNN and the manual baselines on every device.
+
+For each device the table reports model size, overall accuracy (OA),
+balanced accuracy (mAcc), inference latency and peak memory for DGCNN, the
+two manually optimised baselines [6]/[7], and the HGNAS ``Acc``/``Fast``
+models.
+
+Accuracy and model size come from training the scaled-down runnable models
+on the synthetic benchmark (they are device independent, so they are
+trained once and reused for every device).  Latency and peak memory come
+from the calibrated hardware model at paper deployment scale (1024 points,
+k=20, 40 classes).  The HGNAS architectures default to the Fig. 10 presets;
+pass ``hgnas_architectures`` (e.g. produced by a real search run) to
+evaluate searched models instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.experiments.common import ExperimentScale, load_benchmark_dataset
+from repro.hardware.device import DeviceSpec
+from repro.hardware.latency import estimate_latency
+from repro.hardware.memory import estimate_peak_memory
+from repro.hardware.reference_workloads import (
+    PAPER_DGCNN_K,
+    PAPER_NUM_CLASSES,
+    dgcnn_workload,
+    graph_reuse_dgcnn_workload,
+    simplified_dgcnn_workload,
+)
+from repro.hardware.workload import Workload
+from repro.models.baselines import GraphReuseDGCNN, SimplifiedDGCNN, SimplifiedDGCNNConfig
+from repro.models.classifier import model_size_mb
+from repro.models.dgcnn import DGCNN, DGCNNConfig
+from repro.nas.architecture import Architecture
+from repro.nas.derived import DerivedModel
+from repro.nas.presets import device_acc_architecture, device_fast_architecture
+from repro.nas.trainer import evaluate_classifier, train_classifier
+from repro.experiments.common import resolve_devices
+
+__all__ = ["Table2Row", "AccuracyRecord", "train_accuracy_models", "run_table2"]
+
+
+@dataclass(frozen=True)
+class AccuracyRecord:
+    """Accuracy and size of one trained (scaled-down) model."""
+
+    model: str
+    size_mb: float
+    overall_accuracy: float
+    balanced_accuracy: float
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One (device, network) row of Table II."""
+
+    device: str
+    network: str
+    size_mb: float
+    overall_accuracy: float
+    balanced_accuracy: float
+    latency_ms: float
+    peak_memory_mb: float
+    speedup_vs_dgcnn: float
+    memory_reduction_vs_dgcnn: float
+
+
+def _small_dgcnn_config(scale: ExperimentScale) -> DGCNNConfig:
+    return DGCNNConfig(
+        num_classes=scale.num_classes,
+        k=min(10, scale.num_points - 1),
+        layer_dims=(24, 24, 48),
+        embed_dim=48,
+        classifier_hidden=(48,),
+        seed=scale.seed,
+    )
+
+
+def train_accuracy_models(
+    scale: ExperimentScale,
+    hgnas_architectures: Mapping[str, Architecture] | None = None,
+) -> dict[str, AccuracyRecord]:
+    """Train the runnable models once and collect accuracy/size records.
+
+    Args:
+        scale: Dataset / training scale.
+        hgnas_architectures: Extra named architectures to train as derived
+            models (e.g. the per-device Acc/Fast architectures).
+
+    Returns:
+        Mapping from model name to its accuracy record.
+    """
+    train_set, test_set = load_benchmark_dataset(scale)
+    rng = np.random.default_rng(scale.seed)
+    k = min(10, scale.num_points - 1)
+
+    models: dict[str, object] = {
+        "DGCNN": DGCNN(_small_dgcnn_config(scale)),
+        "[6] graph-reuse": GraphReuseDGCNN(_small_dgcnn_config(scale)),
+        "[7] simplified": SimplifiedDGCNN(
+            SimplifiedDGCNNConfig(
+                num_classes=scale.num_classes,
+                k=k,
+                full_layer_dims=(24, 24),
+                simple_layer_dims=(48,),
+                embed_dim=48,
+                classifier_hidden=(48,),
+                seed=scale.seed,
+            )
+        ),
+    }
+    for name, architecture in (hgnas_architectures or {}).items():
+        models[name] = DerivedModel(
+            architecture, num_classes=scale.num_classes, k=k, embed_dim=48, seed=scale.seed
+        )
+
+    records: dict[str, AccuracyRecord] = {}
+    for name, model in models.items():
+        train_classifier(
+            model,
+            train_set,
+            epochs=scale.train_epochs,
+            batch_size=scale.batch_size,
+            rng=rng,
+        )
+        metrics = evaluate_classifier(model, test_set, batch_size=scale.batch_size)
+        records[name] = AccuracyRecord(
+            model=name,
+            size_mb=model_size_mb(model),
+            overall_accuracy=metrics.overall_accuracy,
+            balanced_accuracy=metrics.balanced_accuracy,
+        )
+    return records
+
+
+def _deployment_workloads(device: DeviceSpec, architectures: Mapping[str, Architecture]) -> dict[str, Workload]:
+    workloads: dict[str, Workload] = {
+        "DGCNN": dgcnn_workload(1024),
+        "[6] graph-reuse": graph_reuse_dgcnn_workload(1024),
+        "[7] simplified": simplified_dgcnn_workload(1024),
+    }
+    for name, architecture in architectures.items():
+        workloads[name] = architecture.to_workload(1024, PAPER_DGCNN_K, PAPER_NUM_CLASSES)
+    return workloads
+
+
+def run_table2(
+    scale: ExperimentScale | None = None,
+    devices: Sequence[str] | None = None,
+    hgnas_architectures: Mapping[str, Mapping[str, Architecture]] | None = None,
+    accuracy_records: Mapping[str, AccuracyRecord] | None = None,
+) -> list[Table2Row]:
+    """Reproduce Table II.
+
+    Args:
+        scale: Accuracy-training scale (ignored if ``accuracy_records`` given).
+        devices: Devices to include (default: all four).
+        hgnas_architectures: Per-device mapping ``{device: {"HGNAS-Acc": arch,
+            "HGNAS-Fast": arch}}``; defaults to the Fig. 10 presets.
+        accuracy_records: Pre-computed accuracy records (to avoid re-training
+            when composing multiple experiments).
+    """
+    scale = scale or ExperimentScale()
+    device_specs = resolve_devices(devices)
+
+    per_device_archs: dict[str, dict[str, Architecture]] = {}
+    for device in device_specs:
+        if hgnas_architectures is not None and device.name in hgnas_architectures:
+            per_device_archs[device.name] = dict(hgnas_architectures[device.name])
+        else:
+            per_device_archs[device.name] = {
+                "HGNAS-Acc": device_acc_architecture(device.name),
+                "HGNAS-Fast": device_fast_architecture(device.name),
+            }
+
+    if accuracy_records is None:
+        # Accuracy is device independent; train each distinct architecture once.
+        named_archs: dict[str, Architecture] = {}
+        for archs in per_device_archs.values():
+            for name, arch in archs.items():
+                named_archs[f"{name}:{arch.name or name}"] = arch
+        accuracy_records = train_accuracy_models(scale, named_archs)
+
+    rows: list[Table2Row] = []
+    for device in device_specs:
+        workloads = _deployment_workloads(device, per_device_archs[device.name])
+        dgcnn_latency = estimate_latency(workloads["DGCNN"], device).total_ms
+        dgcnn_memory = estimate_peak_memory(workloads["DGCNN"], device).peak_mb
+        for name, workload in workloads.items():
+            if name in accuracy_records:
+                record = accuracy_records[name]
+            else:
+                arch = per_device_archs[device.name].get(name)
+                arch_key = f"{name}:{arch.name or name}" if arch is not None else name
+                record = accuracy_records.get(arch_key, AccuracyRecord(name, 0.0, 0.0, 0.0))
+            latency = estimate_latency(workload, device).total_ms
+            memory = estimate_peak_memory(workload, device).peak_mb
+            rows.append(
+                Table2Row(
+                    device=device.display_name,
+                    network=name,
+                    size_mb=record.size_mb,
+                    overall_accuracy=record.overall_accuracy,
+                    balanced_accuracy=record.balanced_accuracy,
+                    latency_ms=latency,
+                    peak_memory_mb=memory,
+                    speedup_vs_dgcnn=dgcnn_latency / latency,
+                    memory_reduction_vs_dgcnn=1.0 - memory / dgcnn_memory,
+                )
+            )
+    return rows

@@ -1,0 +1,88 @@
+"""Batch-aware graph construction and pooling.
+
+Mini-batches stack all clouds into one node set with a ``batch`` vector
+(see :class:`repro.data.Batch`).  Graph construction must not connect
+points belonging to different clouds, and global pooling must reduce each
+cloud separately; both are handled here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.knn import knn_graph
+from repro.graph.sampling import random_graph
+from repro.graph.scatter import scatter_max, scatter_mean, scatter_sum
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "batched_knn_graph",
+    "batched_random_graph",
+    "global_max_pool",
+    "global_mean_pool",
+    "global_sum_pool",
+]
+
+
+def _check_batch(num_nodes: int, batch: np.ndarray) -> np.ndarray:
+    batch = np.asarray(batch, dtype=np.int64)
+    if batch.ndim != 1 or batch.shape[0] != num_nodes:
+        raise ValueError(f"batch vector must be 1-D with {num_nodes} entries, got shape {batch.shape}")
+    if batch.size and np.any(np.diff(batch) < 0):
+        raise ValueError("batch vector must be sorted (clouds stored contiguously)")
+    return batch
+
+
+def batched_knn_graph(points: np.ndarray, batch: np.ndarray, k: int) -> np.ndarray:
+    """Build a KNN graph independently inside every cloud of a batch.
+
+    Args:
+        points: Stacked point coordinates/features of shape ``(N_total, D)``.
+        batch: Cloud index per point, sorted ascending.
+        k: Number of neighbours.
+
+    Returns:
+        Edge index of shape ``(2, E)`` with indices into the stacked node set.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    batch = _check_batch(points.shape[0], batch)
+    edges = []
+    for graph_id in np.unique(batch):
+        node_ids = np.flatnonzero(batch == graph_id)
+        local_edges = knn_graph(points[node_ids], k)
+        edges.append(node_ids[local_edges])
+    if not edges:
+        return np.zeros((2, 0), dtype=np.int64)
+    return np.concatenate(edges, axis=1)
+
+
+def batched_random_graph(
+    batch: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Build a random-neighbour graph independently inside every cloud."""
+    batch = np.asarray(batch, dtype=np.int64)
+    if batch.ndim != 1:
+        raise ValueError("batch vector must be 1-D")
+    edges = []
+    for graph_id in np.unique(batch):
+        node_ids = np.flatnonzero(batch == graph_id)
+        local_edges = random_graph(len(node_ids), k, rng)
+        edges.append(node_ids[local_edges])
+    if not edges:
+        return np.zeros((2, 0), dtype=np.int64)
+    return np.concatenate(edges, axis=1)
+
+
+def global_max_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    """Per-cloud elementwise maximum over node features."""
+    return scatter_max(x, _check_batch(x.shape[0], batch), num_graphs)
+
+
+def global_mean_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    """Per-cloud mean over node features."""
+    return scatter_mean(x, _check_batch(x.shape[0], batch), num_graphs)
+
+
+def global_sum_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    """Per-cloud sum over node features."""
+    return scatter_sum(x, _check_batch(x.shape[0], batch), num_graphs)

@@ -1,0 +1,130 @@
+"""K-nearest-neighbour and radius graph construction.
+
+DGCNN rebuilds a KNN graph in the feature space of every layer ("dynamic"
+graph CNN); HGNAS's design space keeps KNN as one of the candidate sample
+functions (Table I).  The implementation uses a KD-tree
+(:class:`scipy.spatial.cKDTree`) which matches the algorithmic complexity of
+the PyG CPU kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.graph.edge_index import validate_edge_index
+
+__all__ = ["knn_graph", "knn_indices", "radius_graph", "pairwise_sq_dists"]
+
+
+def _as_points(points: np.ndarray) -> np.ndarray:
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError(f"points must be a 2-D array (N, D), got shape {points.shape}")
+    if points.shape[0] == 0:
+        raise ValueError("cannot build a graph over an empty point set")
+    return points
+
+
+def pairwise_sq_dists(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Dense pairwise squared Euclidean distances between rows of ``a`` and ``b``."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    a_sq = (a**2).sum(axis=1)[:, None]
+    b_sq = (b**2).sum(axis=1)[None, :]
+    return np.maximum(a_sq + b_sq - 2.0 * a @ b.T, 0.0)
+
+
+def knn_indices(points: np.ndarray, k: int, include_self: bool = False) -> np.ndarray:
+    """Return the indices of the ``k`` nearest neighbours of every point.
+
+    Args:
+        points: Array of shape ``(N, D)``.
+        k: Number of neighbours per point.  Clamped to ``N - 1`` (or ``N``
+            when ``include_self``) if the cloud is smaller than requested.
+        include_self: Whether a point may be its own neighbour.
+
+    Returns:
+        Integer array of shape ``(N, k_eff)``; ``k_eff`` may be smaller than
+        ``k`` for tiny clouds.
+    """
+    points = _as_points(points)
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    n = points.shape[0]
+    max_k = n if include_self else n - 1
+    k_eff = min(k, max(max_k, 1))
+    tree = cKDTree(points)
+    query_k = k_eff if include_self else k_eff + 1
+    query_k = min(query_k, n)
+    _, idx = tree.query(points, k=query_k)
+    idx = np.atleast_2d(idx)
+    if idx.ndim == 1:
+        idx = idx[:, None]
+    if not include_self:
+        # Remove each point from its own neighbour list (it is almost always
+        # the first hit, but duplicate coordinates can shuffle that).
+        cleaned = np.empty((n, k_eff), dtype=np.int64)
+        rows = np.arange(n)
+        for col_target in range(k_eff):
+            cleaned[:, col_target] = -1
+        for i in range(n):
+            neighbours = [j for j in idx[i] if j != i][:k_eff]
+            while len(neighbours) < k_eff:
+                neighbours.append(neighbours[-1] if neighbours else i)
+            cleaned[i] = neighbours
+        _ = rows
+        return cleaned
+    return idx[:, :k_eff].astype(np.int64)
+
+
+def knn_graph(points: np.ndarray, k: int, include_self: bool = False) -> np.ndarray:
+    """Build a directed KNN graph.
+
+    Each point receives edges from its ``k`` nearest neighbours, i.e. the
+    neighbour is the *source* and the point is the *target*.
+
+    Args:
+        points: Array of shape ``(N, D)``.
+        k: Number of neighbours.
+        include_self: Whether to allow self-loops.
+
+    Returns:
+        Edge index of shape ``(2, N * k_eff)``.
+    """
+    idx = knn_indices(points, k, include_self=include_self)
+    n, k_eff = idx.shape
+    targets = np.repeat(np.arange(n, dtype=np.int64), k_eff)
+    sources = idx.reshape(-1)
+    edge_index = np.stack([sources, targets], axis=0)
+    return validate_edge_index(edge_index, n)
+
+
+def radius_graph(points: np.ndarray, radius: float, max_neighbors: int | None = None) -> np.ndarray:
+    """Build a directed graph connecting points within ``radius``.
+
+    Args:
+        points: Array of shape ``(N, D)``.
+        radius: Neighbourhood radius (must be positive).
+        max_neighbors: Optional cap on neighbours per target (nearest kept).
+
+    Returns:
+        Edge index of shape ``(2, E)`` without self-loops.
+    """
+    points = _as_points(points)
+    if radius <= 0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    tree = cKDTree(points)
+    neighbour_lists = tree.query_ball_point(points, r=radius)
+    sources: list[int] = []
+    targets: list[int] = []
+    for target, neighbours in enumerate(neighbour_lists):
+        neighbours = [n for n in neighbours if n != target]
+        if max_neighbors is not None and len(neighbours) > max_neighbors:
+            dists = ((points[neighbours] - points[target]) ** 2).sum(axis=1)
+            order = np.argsort(dists)[:max_neighbors]
+            neighbours = [neighbours[i] for i in order]
+        sources.extend(neighbours)
+        targets.extend([target] * len(neighbours))
+    edge_index = np.array([sources, targets], dtype=np.int64).reshape(2, -1)
+    return validate_edge_index(edge_index, points.shape[0])

@@ -1,0 +1,99 @@
+"""Edge message construction.
+
+The *aggregate* operation in the HGNAS design space carries a **message
+type** attribute (Table I) that selects how the per-edge message is built
+from the centre node feature ``x_i`` (target), the neighbour feature ``x_j``
+(source) and their difference:
+
+=================  ==========================================
+Message type       Message
+=================  ==========================================
+``source_pos``     ``x_j``
+``target_pos``     ``x_i``
+``rel_pos``        ``x_j - x_i``
+``distance``       ``||x_j - x_i||``  (1 feature)
+``source_rel``     ``[x_j, x_j - x_i]``
+``target_rel``     ``[x_i, x_j - x_i]``  (DGCNN's EdgeConv message)
+``full``           ``[x_i, x_j, x_j - x_i, ||x_j - x_i||]``
+=================  ==========================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, as_tensor, concatenate
+
+__all__ = ["MESSAGE_TYPES", "message_dim", "build_messages"]
+
+MESSAGE_TYPES = (
+    "source_pos",
+    "target_pos",
+    "rel_pos",
+    "distance",
+    "source_rel",
+    "target_rel",
+    "full",
+)
+
+
+def message_dim(message_type: str, feature_dim: int) -> int:
+    """Return the per-edge message width for ``message_type``.
+
+    Args:
+        message_type: One of :data:`MESSAGE_TYPES`.
+        feature_dim: Width of the node features the message is built from.
+    """
+    if feature_dim <= 0:
+        raise ValueError(f"feature_dim must be positive, got {feature_dim}")
+    if message_type in ("source_pos", "target_pos", "rel_pos"):
+        return feature_dim
+    if message_type == "distance":
+        return 1
+    if message_type in ("source_rel", "target_rel"):
+        return 2 * feature_dim
+    if message_type == "full":
+        return 3 * feature_dim + 1
+    raise ValueError(f"unknown message type '{message_type}', expected one of {MESSAGE_TYPES}")
+
+
+def build_messages(features: Tensor, edge_index: np.ndarray, message_type: str) -> Tensor:
+    """Build per-edge messages from node features.
+
+    Args:
+        features: Node features of shape ``(N, F)``.
+        edge_index: Edge index of shape ``(2, E)``; row 0 sources, row 1 targets.
+        message_type: One of :data:`MESSAGE_TYPES`.
+
+    Returns:
+        Messages of shape ``(E, message_dim(message_type, F))``.
+    """
+    features = as_tensor(features)
+    if features.ndim != 2:
+        raise ValueError(f"features must be 2-D (N, F), got shape {features.shape}")
+    edge_index = np.asarray(edge_index, dtype=np.int64)
+    if edge_index.ndim != 2 or edge_index.shape[0] != 2:
+        raise ValueError(f"edge_index must have shape (2, E), got {edge_index.shape}")
+    sources, targets = edge_index[0], edge_index[1]
+
+    x_j = features[sources]
+    x_i = features[targets]
+
+    if message_type == "source_pos":
+        return x_j
+    if message_type == "target_pos":
+        return x_i
+    if message_type == "rel_pos":
+        return x_j - x_i
+    if message_type == "distance":
+        rel = x_j - x_i
+        return ((rel**2).sum(axis=1, keepdims=True) + 1e-12) ** 0.5
+    if message_type == "source_rel":
+        return concatenate([x_j, x_j - x_i], axis=1)
+    if message_type == "target_rel":
+        return concatenate([x_i, x_j - x_i], axis=1)
+    if message_type == "full":
+        rel = x_j - x_i
+        dist = ((rel**2).sum(axis=1, keepdims=True) + 1e-12) ** 0.5
+        return concatenate([x_i, x_j, rel, dist], axis=1)
+    raise ValueError(f"unknown message type '{message_type}', expected one of {MESSAGE_TYPES}")

@@ -1,0 +1,107 @@
+"""Differentiable scatter (segment) aggregations.
+
+These implement the *aggregate* step of the message-passing paradigm: edge
+messages of shape ``(E, F)`` are reduced per target node into an output of
+shape ``(num_nodes, F)``.  All four aggregators of the HGNAS function space
+(Table I) are supported: ``sum``, ``mean``, ``max`` and ``min``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, apply_op, as_tensor
+
+__all__ = ["scatter_sum", "scatter_mean", "scatter_max", "scatter_min", "scatter", "AGGREGATORS"]
+
+
+def _check_inputs(src: Tensor, index: np.ndarray, dim_size: int) -> tuple[Tensor, np.ndarray]:
+    src = as_tensor(src)
+    if src.ndim != 2:
+        raise ValueError(f"scatter expects 2-D messages (E, F), got shape {src.shape}")
+    index = np.asarray(index, dtype=np.int64)
+    if index.ndim != 1 or index.shape[0] != src.shape[0]:
+        raise ValueError(
+            f"index must be 1-D with one entry per message; got index shape {index.shape} "
+            f"for {src.shape[0]} messages"
+        )
+    if dim_size <= 0:
+        raise ValueError(f"dim_size must be positive, got {dim_size}")
+    if index.size and (index.min() < 0 or index.max() >= dim_size):
+        raise ValueError("scatter index out of range")
+    return src, index
+
+
+def scatter_sum(src: Tensor, index: np.ndarray, dim_size: int) -> Tensor:
+    """Sum messages per target node."""
+    src, index = _check_inputs(src, index, dim_size)
+    out = np.zeros((dim_size, src.shape[1]), dtype=np.float64)
+    np.add.at(out, index, src.data)
+
+    def backward_fn(grad: np.ndarray) -> list[np.ndarray]:
+        return [grad[index]]
+
+    return apply_op(out, (src,), backward_fn)
+
+
+def scatter_mean(src: Tensor, index: np.ndarray, dim_size: int) -> Tensor:
+    """Average messages per target node (empty targets yield zero)."""
+    src, index = _check_inputs(src, index, dim_size)
+    counts = np.bincount(index, minlength=dim_size).astype(np.float64)
+    safe_counts = np.maximum(counts, 1.0)
+    out = np.zeros((dim_size, src.shape[1]), dtype=np.float64)
+    np.add.at(out, index, src.data)
+    out /= safe_counts[:, None]
+
+    def backward_fn(grad: np.ndarray) -> list[np.ndarray]:
+        return [(grad / safe_counts[:, None])[index]]
+
+    return apply_op(out, (src,), backward_fn)
+
+
+def _scatter_extreme(src: Tensor, index: np.ndarray, dim_size: int, mode: str) -> Tensor:
+    src, index = _check_inputs(src, index, dim_size)
+    fill = -np.inf if mode == "max" else np.inf
+    reducer = np.maximum if mode == "max" else np.minimum
+    out = np.full((dim_size, src.shape[1]), fill, dtype=np.float64)
+    reducer.at(out, index, src.data)
+    empty = ~np.isfinite(out)
+    out = np.where(empty, 0.0, out)
+
+    # The winners (possibly tied) receive the gradient, split equally.
+    winner_mask = (src.data == out[index]) & ~empty[index]
+    winner_counts = np.zeros((dim_size, src.shape[1]), dtype=np.float64)
+    np.add.at(winner_counts, index, winner_mask.astype(np.float64))
+    winner_counts = np.maximum(winner_counts, 1.0)
+
+    def backward_fn(grad: np.ndarray) -> list[np.ndarray]:
+        return [winner_mask * (grad / winner_counts)[index]]
+
+    return apply_op(out, (src,), backward_fn)
+
+
+def scatter_max(src: Tensor, index: np.ndarray, dim_size: int) -> Tensor:
+    """Elementwise maximum of messages per target node (empty targets yield zero)."""
+    return _scatter_extreme(src, index, dim_size, "max")
+
+
+def scatter_min(src: Tensor, index: np.ndarray, dim_size: int) -> Tensor:
+    """Elementwise minimum of messages per target node (empty targets yield zero)."""
+    return _scatter_extreme(src, index, dim_size, "min")
+
+
+AGGREGATORS = {
+    "sum": scatter_sum,
+    "mean": scatter_mean,
+    "max": scatter_max,
+    "min": scatter_min,
+}
+
+
+def scatter(src: Tensor, index: np.ndarray, dim_size: int, reduce: str = "sum") -> Tensor:
+    """Dispatch to one of the named aggregators (``sum``/``mean``/``max``/``min``)."""
+    try:
+        fn = AGGREGATORS[reduce]
+    except KeyError as exc:
+        raise ValueError(f"unknown reduce '{reduce}', expected one of {sorted(AGGREGATORS)}") from exc
+    return fn(src, index, dim_size)

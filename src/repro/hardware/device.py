@@ -1,0 +1,129 @@
+"""Edge-device specifications.
+
+Each :class:`DeviceSpec` bundles the calibrated cost coefficients (see
+:mod:`repro.hardware.calibration`) with the device's memory budget, power
+draw and measurement characteristics.  The four devices of the paper are
+available from :func:`get_device`; custom devices can be constructed
+directly for extension studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.hardware.calibration import PAPER_TARGETS, CalibrationTarget, calibrate_coefficients
+
+__all__ = ["DeviceSpec", "get_device", "list_devices", "all_devices", "DEVICE_ALIASES"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A modelled edge device.
+
+    Attributes:
+        name: Canonical identifier (e.g. ``"rtx3080"``).
+        display_name: Human-readable name used in reports.
+        ns_per_knn_pair_dim: Time per pairwise-distance element of KNN.
+        ns_per_random_edge: Time per randomly sampled edge.
+        ns_per_irregular_byte: Time per byte of gather/scatter traffic.
+        ns_per_flop: Time per dense multiply-accumulate.
+        ms_per_op_overhead: Kernel-launch / framework dispatch time per op.
+        base_memory_mb: Resident framework footprint.
+        memory_scale: Multiplier from modelled working-set to allocator peak.
+        available_memory_mb: Usable memory before out-of-memory.
+        power_watts: Typical board power during inference.
+        measurement_noise: Relative std-dev of on-device latency measurements.
+        measurement_round_trip_s: Wall-clock cost of one on-device measurement
+            (deploy, run, report) used by the search-ablation experiments.
+    """
+
+    name: str
+    display_name: str
+    ns_per_knn_pair_dim: float
+    ns_per_random_edge: float
+    ns_per_irregular_byte: float
+    ns_per_flop: float
+    ms_per_op_overhead: float
+    base_memory_mb: float
+    memory_scale: float
+    available_memory_mb: float
+    power_watts: float
+    measurement_noise: float
+    measurement_round_trip_s: float
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "ns_per_knn_pair_dim",
+            "ns_per_random_edge",
+            "ns_per_irregular_byte",
+            "ns_per_flop",
+            "ms_per_op_overhead",
+            "base_memory_mb",
+            "memory_scale",
+            "available_memory_mb",
+            "power_watts",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"DeviceSpec.{field_name} must be positive")
+        if not 0 <= self.measurement_noise < 1:
+            raise ValueError("measurement_noise must be in [0, 1)")
+
+    def with_overrides(self, **overrides: float) -> "DeviceSpec":
+        """Return a copy with selected fields replaced (for what-if studies)."""
+        return replace(self, **overrides)
+
+
+def _build_device(target: CalibrationTarget) -> DeviceSpec:
+    coefficients = calibrate_coefficients(target)
+    return DeviceSpec(
+        name=target.name,
+        display_name=target.display_name,
+        base_memory_mb=target.base_memory_mb,
+        available_memory_mb=target.available_memory_mb,
+        power_watts=target.power_watts,
+        measurement_noise=target.measurement_noise,
+        measurement_round_trip_s=target.measurement_round_trip_s,
+        **coefficients,
+    )
+
+
+_DEVICE_CACHE: dict[str, DeviceSpec] = {}
+
+#: Accepted aliases for each canonical device name.
+DEVICE_ALIASES = {
+    "rtx3080": "rtx3080",
+    "rtx-3080": "rtx3080",
+    "nvidia rtx3080": "rtx3080",
+    "gpu": "rtx3080",
+    "i7-8700k": "i7-8700k",
+    "i7": "i7-8700k",
+    "intel i7-8700k": "i7-8700k",
+    "cpu": "i7-8700k",
+    "jetson-tx2": "jetson-tx2",
+    "tx2": "jetson-tx2",
+    "jetson tx2": "jetson-tx2",
+    "raspberry-pi": "raspberry-pi",
+    "raspberry pi 3b+": "raspberry-pi",
+    "pi": "raspberry-pi",
+    "raspberrypi": "raspberry-pi",
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Return the calibrated :class:`DeviceSpec` for ``name`` (aliases allowed)."""
+    key = DEVICE_ALIASES.get(name.strip().lower())
+    if key is None:
+        raise KeyError(f"unknown device '{name}'; known devices: {list_devices()}")
+    if key not in _DEVICE_CACHE:
+        _DEVICE_CACHE[key] = _build_device(PAPER_TARGETS[key])
+    return _DEVICE_CACHE[key]
+
+
+def list_devices() -> list[str]:
+    """Canonical names of the modelled devices."""
+    return list(PAPER_TARGETS.keys())
+
+
+def all_devices() -> list[DeviceSpec]:
+    """Calibrated specs for all modelled devices, in paper order."""
+    return [get_device(name) for name in list_devices()]

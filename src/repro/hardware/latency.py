@@ -1,0 +1,119 @@
+"""Analytical latency model.
+
+Latency of an operation on a device is a linear combination of the op's
+resource quantities (see :mod:`repro.hardware.cost_model`) with the
+device's calibrated coefficients, plus a per-op dispatch overhead.  The
+per-category breakdown mirrors the paper's Fig. 3: resource time is
+attributed to the op's category while dispatch overhead is attributed to
+"others" (framework time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.cost_model import OpQuantities, lower_workload
+from repro.hardware.device import DeviceSpec
+from repro.hardware.workload import Workload
+
+__all__ = ["OpLatency", "LatencyReport", "estimate_latency"]
+
+
+@dataclass(frozen=True)
+class OpLatency:
+    """Latency contribution of one op (milliseconds)."""
+
+    name: str
+    category: str
+    resource_ms: float
+    overhead_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return self.resource_ms + self.overhead_ms
+
+
+@dataclass
+class LatencyReport:
+    """Per-op and per-category latency of a workload on one device."""
+
+    device: str
+    workload: str
+    ops: list[OpLatency] = field(default_factory=list)
+
+    @property
+    def total_ms(self) -> float:
+        """End-to-end inference latency in milliseconds."""
+        return float(sum(op.total_ms for op in self.ops))
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end inference latency in seconds."""
+        return self.total_ms / 1e3
+
+    def category_ms(self) -> dict[str, float]:
+        """Latency per profiling category (overhead counted as 'others')."""
+        totals = {"sample": 0.0, "aggregate": 0.0, "combine": 0.0, "others": 0.0}
+        for op in self.ops:
+            totals[op.category] += op.resource_ms
+            totals["others"] += op.overhead_ms
+        return totals
+
+    def category_fractions(self) -> dict[str, float]:
+        """Fraction of total latency per category (sums to 1)."""
+        totals = self.category_ms()
+        grand = sum(totals.values())
+        if grand <= 0:
+            return {key: 0.0 for key in totals}
+        return {key: value / grand for key, value in totals.items()}
+
+
+#: Reference cloud size at which the per-op dispatch overhead was calibrated.
+_OVERHEAD_REFERENCE_POINTS = 1024
+#: Fraction of the dispatch overhead that is independent of cloud size.
+_OVERHEAD_FIXED_FRACTION = 0.25
+
+
+def _op_resource_ms(quantities: OpQuantities, device: DeviceSpec) -> float:
+    nanoseconds = (
+        quantities.knn_pair_dims * device.ns_per_knn_pair_dim
+        + quantities.random_edges * device.ns_per_random_edge
+        + quantities.irregular_bytes * device.ns_per_irregular_byte
+        + quantities.flops * device.ns_per_flop
+    )
+    return nanoseconds * 1e-6
+
+
+def _overhead_scale(num_points: int) -> float:
+    """Dispatch/framework overhead grows mildly with the cloud size.
+
+    Part of the "others" time (tensor reshapes, host-device copies, python
+    dispatch over larger tensors) scales with the input, part is fixed.  The
+    scale equals 1 at the 1024-point calibration size.
+    """
+    variable = 1.0 - _OVERHEAD_FIXED_FRACTION
+    return _OVERHEAD_FIXED_FRACTION + variable * (num_points / _OVERHEAD_REFERENCE_POINTS)
+
+
+def estimate_latency(workload: Workload, device: DeviceSpec) -> LatencyReport:
+    """Estimate the inference latency of ``workload`` on ``device``.
+
+    Args:
+        workload: Device-independent workload description.
+        device: Calibrated device spec.
+
+    Returns:
+        A :class:`LatencyReport` with per-op, per-category and total times.
+    """
+    report = LatencyReport(device=device.name, workload=workload.name)
+    overhead_scale = _overhead_scale(workload.num_points)
+    for quantities in lower_workload(workload).per_op:
+        report.ops.append(
+            OpLatency(
+                name=quantities.name,
+                category=quantities.category,
+                resource_ms=_op_resource_ms(quantities, device),
+                overhead_ms=quantities.op_count * device.ms_per_op_overhead * overhead_scale,
+            )
+        )
+    return report

@@ -1,0 +1,80 @@
+"""Simulated on-device measurement.
+
+During a hardware-aware search there are two ways to obtain the latency of
+a candidate architecture: query the GNN predictor (milliseconds) or deploy
+the model on the real device and measure it (seconds to minutes per
+candidate, plus measurement noise).  :class:`DeviceMeasurement` emulates the
+latter: it returns the analytical latency perturbed by device-specific
+multiplicative noise and advances a virtual clock by the measurement round
+trip, so the predictor-vs-measurement ablation (Fig. 9a) can be reproduced
+deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hardware.device import DeviceSpec
+from repro.hardware.latency import estimate_latency
+from repro.hardware.memory import estimate_peak_memory
+from repro.hardware.workload import Workload
+from repro.utils.timer import VirtualClock
+
+__all__ = ["MeasurementSample", "DeviceMeasurement"]
+
+
+@dataclass(frozen=True)
+class MeasurementSample:
+    """One measured data point."""
+
+    latency_ms: float
+    peak_memory_mb: float
+    out_of_memory: bool
+    wall_clock_s: float
+
+
+@dataclass
+class DeviceMeasurement:
+    """Noisy, slow latency oracle emulating real on-device measurement.
+
+    Attributes:
+        device: Device being "measured".
+        rng: Random generator for the measurement noise.
+        clock: Virtual clock advanced by each measurement's round trip.
+        num_runs: Number of repeated runs averaged per measurement (the
+            paper averages 10 runs); averaging reduces the effective noise.
+    """
+
+    device: DeviceSpec
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+    clock: VirtualClock = field(default_factory=VirtualClock)
+    num_runs: int = 10
+
+    def __post_init__(self) -> None:
+        if self.num_runs <= 0:
+            raise ValueError("num_runs must be positive")
+
+    @property
+    def effective_noise(self) -> float:
+        """Relative noise of the averaged measurement."""
+        return self.device.measurement_noise / np.sqrt(self.num_runs)
+
+    def measure(self, workload: Workload) -> MeasurementSample:
+        """Measure a workload: returns noisy latency and advances the clock."""
+        latency = estimate_latency(workload, self.device).total_ms
+        memory = estimate_peak_memory(workload, self.device)
+        noise = 1.0 + self.rng.normal(0.0, self.effective_noise)
+        noisy_latency = max(latency * noise, 1e-6)
+        self.clock.advance(self.device.measurement_round_trip_s)
+        return MeasurementSample(
+            latency_ms=float(noisy_latency),
+            peak_memory_mb=memory.peak_mb,
+            out_of_memory=memory.out_of_memory,
+            wall_clock_s=self.clock.now,
+        )
+
+    def measure_latency_ms(self, workload: Workload) -> float:
+        """Shortcut returning only the noisy latency."""
+        return self.measure(workload).latency_ms

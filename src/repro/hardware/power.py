@@ -1,0 +1,62 @@
+"""Power and energy accounting.
+
+The paper highlights that an HGNAS model on the 7.5 W Jetson TX2 matches
+DGCNN's latency on the 350 W RTX3080, a 47x power-efficiency improvement;
+these helpers compute that kind of comparison from the latency model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.device import DeviceSpec
+from repro.hardware.latency import estimate_latency
+from repro.hardware.workload import Workload
+
+__all__ = ["EnergyReport", "estimate_energy", "power_efficiency_ratio"]
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy cost of one inference."""
+
+    device: str
+    workload: str
+    latency_ms: float
+    power_watts: float
+
+    @property
+    def energy_mj(self) -> float:
+        """Energy per inference in millijoules."""
+        return self.latency_ms * self.power_watts
+
+    @property
+    def inferences_per_joule(self) -> float:
+        """Throughput per joule of energy."""
+        return 1000.0 / self.energy_mj if self.energy_mj > 0 else float("inf")
+
+
+def estimate_energy(workload: Workload, device: DeviceSpec) -> EnergyReport:
+    """Estimate per-inference energy of a workload on a device."""
+    latency = estimate_latency(workload, device).total_ms
+    return EnergyReport(
+        device=device.name,
+        workload=workload.name,
+        latency_ms=latency,
+        power_watts=device.power_watts,
+    )
+
+
+def power_efficiency_ratio(
+    workload_a: Workload,
+    device_a: DeviceSpec,
+    workload_b: Workload,
+    device_b: DeviceSpec,
+) -> float:
+    """Ratio of power draw between two deployments (``device_b / device_a``).
+
+    The paper's headline comparison is HGNAS-on-TX2 versus DGCNN-on-RTX3080:
+    similar latency at a 47x lower power budget.
+    """
+    _ = workload_a, workload_b  # latencies are reported separately; power ratio is device-level
+    return device_b.power_watts / device_a.power_watts

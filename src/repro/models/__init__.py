@@ -1,0 +1,20 @@
+"""GNN models: DGCNN, manually optimised baselines, and dense GCN layers."""
+
+from repro.models.baselines import GraphReuseDGCNN, SimplifiedDGCNN, SimplifiedDGCNNConfig
+from repro.models.classifier import ClassificationHead, model_size_mb
+from repro.models.dgcnn import DGCNN, DGCNNConfig
+from repro.models.edgeconv import EdgeConv
+from repro.models.gcn import DenseGCN, DenseGCNLayer
+
+__all__ = [
+    "DGCNN",
+    "DGCNNConfig",
+    "GraphReuseDGCNN",
+    "SimplifiedDGCNN",
+    "SimplifiedDGCNNConfig",
+    "EdgeConv",
+    "ClassificationHead",
+    "model_size_mb",
+    "DenseGCN",
+    "DenseGCNLayer",
+]

@@ -1,0 +1,135 @@
+"""Manually optimised DGCNN baselines.
+
+The paper compares HGNAS against two hand-crafted efficiency optimisations
+of DGCNN:
+
+* **[6] Li et al., ICCV 2021** ("Towards efficient graph convolutional
+  networks for point cloud handling"): eliminate redundant graph sampling by
+  computing the KNN graph once on the input coordinates and reusing it in
+  every layer.  Implemented as :class:`GraphReuseDGCNN`.
+* **[7] Tailor et al., ICCV 2021** ("Towards efficient point cloud graph
+  neural networks through architectural simplification"): keep the full
+  expressive EdgeConv only in the front layers and replace the latter layers
+  with much cheaper aggregation blocks (single static graph, lightweight
+  messages).  Implemented as :class:`SimplifiedDGCNN`.
+
+Both are runnable models (for accuracy comparisons on the synthetic
+benchmark) and have matching architecture genotypes in
+:mod:`repro.nas.presets` (for hardware cost comparisons).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Batch
+from repro.graph.batching import batched_knn_graph
+from repro.models.classifier import ClassificationHead
+from repro.models.dgcnn import DGCNN, DGCNNConfig
+from repro.models.edgeconv import EdgeConv
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor, concatenate
+
+__all__ = ["GraphReuseDGCNN", "SimplifiedDGCNNConfig", "SimplifiedDGCNN"]
+
+
+class GraphReuseDGCNN(DGCNN):
+    """DGCNN variant of Li et al. [6]: one static KNN graph shared by all layers."""
+
+    def __init__(self, config: DGCNNConfig | None = None):
+        config = config or DGCNNConfig()
+        reuse = {i: 0 for i in range(1, len(config.layer_dims))}
+        static_config = DGCNNConfig(
+            num_classes=config.num_classes,
+            k=config.k,
+            layer_dims=config.layer_dims,
+            embed_dim=config.embed_dim,
+            classifier_hidden=config.classifier_hidden,
+            dropout=config.dropout,
+            dynamic=False,
+            graph_reuse=reuse,
+            seed=config.seed,
+        )
+        super().__init__(static_config)
+
+
+@dataclass
+class SimplifiedDGCNNConfig:
+    """Configuration of the Tailor et al. [7] style simplified model."""
+
+    num_classes: int = 10
+    k: int = 10
+    full_layer_dims: tuple[int, ...] = (32, 32)
+    simple_layer_dims: tuple[int, ...] = (64,)
+    embed_dim: int = 64
+    classifier_hidden: tuple[int, ...] = (64, 32)
+    dropout: float = 0.3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError("k must be positive")
+        if not self.full_layer_dims:
+            raise ValueError("at least one full EdgeConv layer is required")
+
+
+class SimplifiedDGCNN(Module):
+    """Tailor et al. [7] style model: expressive front layers, simplified tail.
+
+    Front layers are regular EdgeConv blocks on a single static KNN graph;
+    tail layers use the cheap ``source_pos`` message with mean aggregation,
+    which removes the per-edge feature concatenation and halves the message
+    width.
+    """
+
+    def __init__(self, config: SimplifiedDGCNNConfig | None = None):
+        super().__init__()
+        self.config = config or SimplifiedDGCNNConfig()
+        rng = np.random.default_rng(self.config.seed)
+        dims = [3, *self.config.full_layer_dims]
+        self.full_convs: list[EdgeConv] = []
+        for i in range(len(self.config.full_layer_dims)):
+            conv = EdgeConv(dims[i], dims[i + 1], aggregator="max", message_type="target_rel", rng=rng)
+            self.add_module(f"full_conv{i}", conv)
+            self.full_convs.append(conv)
+        simple_dims = [dims[-1], *self.config.simple_layer_dims]
+        self.simple_convs: list[EdgeConv] = []
+        for i in range(len(self.config.simple_layer_dims)):
+            conv = EdgeConv(
+                simple_dims[i], simple_dims[i + 1], aggregator="mean", message_type="source_pos", rng=rng
+            )
+            self.add_module(f"simple_conv{i}", conv)
+            self.simple_convs.append(conv)
+        total_dim = int(sum(self.config.full_layer_dims) + sum(self.config.simple_layer_dims))
+        self.head = ClassificationHead(
+            total_dim,
+            self.config.num_classes,
+            embed_dim=self.config.embed_dim,
+            hidden_dims=self.config.classifier_hidden,
+            dropout=self.config.dropout,
+            rng=rng,
+        )
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.full_convs) + len(self.simple_convs)
+
+    def forward(self, batch: Batch) -> Tensor:
+        """Classify a batch of point clouds."""
+        edge_index = batched_knn_graph(batch.points, batch.batch, self.config.k)
+        x = Tensor(batch.points)
+        outputs: list[Tensor] = []
+        for conv in self.full_convs:
+            x = conv(x, edge_index)
+            outputs.append(x)
+        for conv in self.simple_convs:
+            x = conv(x, edge_index)
+            outputs.append(x)
+        combined = concatenate(outputs, axis=1) if len(outputs) > 1 else outputs[0]
+        return self.head(combined, batch.batch, batch.num_graphs)
+
+    def count_knn_constructions(self) -> int:
+        """The simplified model builds its graph exactly once per forward pass."""
+        return 1

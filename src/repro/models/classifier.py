@@ -1,0 +1,66 @@
+"""Point-cloud classification head shared by DGCNN and NAS-derived models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.batching import global_max_pool, global_mean_pool
+from repro.nn.layers import MLP, Dropout, LeakyReLU, Linear, Module, Sequential
+from repro.nn.tensor import Tensor, concatenate
+
+__all__ = ["ClassificationHead", "model_size_mb"]
+
+
+def model_size_mb(module: Module, bytes_per_param: int = 4) -> float:
+    """Approximate model size in MB assuming float32 storage."""
+    return module.num_parameters() * bytes_per_param / 2**20
+
+
+class ClassificationHead(Module):
+    """Global pooling followed by an MLP classifier.
+
+    Mirrors the DGCNN head: a shared linear embedding, concatenated global
+    max and mean pooling, then a two-hidden-layer MLP with dropout.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        num_classes: int,
+        embed_dim: int = 128,
+        hidden_dims: tuple[int, ...] = (64, 32),
+        dropout: float = 0.3,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if num_classes <= 1:
+            raise ValueError(f"num_classes must be > 1, got {num_classes}")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_dim = in_dim
+        self.num_classes = num_classes
+        self.embed = Sequential(Linear(in_dim, embed_dim, rng=rng), LeakyReLU(0.2))
+        self.dropout = Dropout(dropout, rng=rng) if dropout > 0 else None
+        self.mlp = MLP([2 * embed_dim, *hidden_dims, num_classes], activation="leaky_relu", rng=rng)
+
+    def forward(self, x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+        """Pool node features per cloud and classify.
+
+        Args:
+            x: Node features of shape ``(N, in_dim)``.
+            batch: Cloud index per node.
+            num_graphs: Number of clouds in the batch.
+
+        Returns:
+            Logits of shape ``(num_graphs, num_classes)``.
+        """
+        embedded = self.embed(x)
+        pooled = concatenate(
+            [
+                global_max_pool(embedded, batch, num_graphs),
+                global_mean_pool(embedded, batch, num_graphs),
+            ],
+            axis=1,
+        )
+        if self.dropout is not None:
+            pooled = self.dropout(pooled)
+        return self.mlp(pooled)

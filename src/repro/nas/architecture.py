@@ -1,0 +1,333 @@
+"""Architecture genotype of the fine-grained design space.
+
+An :class:`Architecture` assigns one operation to each supernet position
+and carries the two shared :class:`~repro.nas.ops.FunctionSet` objects
+(upper / lower half).  It knows how to:
+
+* resolve itself into a list of *effective operations*
+  (:meth:`Architecture.effective_ops`) — consecutive sample operations are
+  merged (the paper notes that adjacent KNN constructions are duplicates)
+  and aggregates with no preceding sample trigger an implicit graph build;
+* lower itself to a hardware :class:`~repro.hardware.workload.Workload`
+  (:meth:`Architecture.to_workload`), which is what the latency/memory
+  models and the latency predictor's training-label generation consume;
+* serialise to/from plain dictionaries for checkpoints and experiment logs.
+
+Execution semantics of the operations (used consistently by the workload
+lowering, the one-shot supernet and the derived stand-alone models):
+
+* ``sample``  — (re)build the neighbourhood graph with the half's sample
+  method; feature width unchanged.
+* ``aggregate`` — build per-edge messages with the half's message type and
+  reduce them with the half's aggregator; the output width equals the
+  message width.
+* ``combine`` — linear transformation (plus activation) to the half's
+  combine dimension.
+* ``connect`` — ``skip`` concatenates the original input features to the
+  current features (a lightweight residual path); ``identity`` is a no-op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.message import message_dim
+from repro.hardware.workload import OpDescriptor, Workload
+from repro.nas.ops import FunctionSet, OperationType
+
+__all__ = ["EffectiveOp", "Architecture", "effective_op_to_descriptor"]
+
+
+def effective_op_to_descriptor(op: "EffectiveOp", num_points: int, k: int) -> OpDescriptor:
+    """Lower one effective operation to a hardware op descriptor.
+
+    Shared by :meth:`Architecture.to_workload` and the latency predictor's
+    feature encoding so both always agree on the executed operation shapes.
+    """
+    edges = num_points * k
+    if op.kind == "sample":
+        kind = "knn_sample" if op.sample_method == "knn" else "random_sample"
+        return OpDescriptor(
+            kind=kind,
+            num_points=num_points,
+            num_edges=edges,
+            in_dim=op.in_dim,
+            name=f"pos{op.position}.{op.sample_method}_sample",
+        )
+    if op.kind == "aggregate":
+        return OpDescriptor(
+            kind="aggregate",
+            num_points=num_points,
+            num_edges=edges,
+            in_dim=op.in_dim,
+            out_dim=op.out_dim,
+            message_dim=op.out_dim,
+            name=f"pos{op.position}.aggregate",
+        )
+    if op.kind == "combine":
+        return OpDescriptor(
+            kind="combine",
+            num_points=num_points,
+            in_dim=op.in_dim,
+            out_dim=op.out_dim,
+            name=f"pos{op.position}.combine",
+        )
+    if op.kind == "connect_skip":
+        return OpDescriptor(
+            kind="connect_skip",
+            num_points=num_points,
+            in_dim=op.in_dim,
+            out_dim=op.out_dim,
+            name=f"pos{op.position}.skip",
+        )
+    raise ValueError(f"unhandled effective op kind '{op.kind}'")
+
+
+@dataclass(frozen=True)
+class EffectiveOp:
+    """One operation of the resolved (post-merge) architecture."""
+
+    kind: str  # 'sample' | 'aggregate' | 'combine' | 'connect_skip'
+    position: int
+    in_dim: int
+    out_dim: int
+    sample_method: str = ""
+    aggregator: str = ""
+    message_type: str = ""
+    combine_dim: int = 0
+
+    def describe(self) -> str:
+        """Short human-readable description (used by the visualiser)."""
+        if self.kind == "sample":
+            return "KNN" if self.sample_method == "knn" else "RandomSample"
+        if self.kind == "aggregate":
+            return f"Aggregate ({self.message_type}, {self.aggregator})"
+        if self.kind == "combine":
+            return f"Combine ({self.out_dim})"
+        return "Skip-connect"
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """A point in the fine-grained design space."""
+
+    operations: tuple[OperationType, ...]
+    upper_functions: FunctionSet = field(default_factory=FunctionSet)
+    lower_functions: FunctionSet = field(default_factory=FunctionSet)
+    input_dim: int = 3
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.operations:
+            raise ValueError("an architecture needs at least one position")
+        operations = tuple(OperationType(op) for op in self.operations)
+        object.__setattr__(self, "operations", operations)
+        if self.input_dim <= 0:
+            raise ValueError("input_dim must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_positions(self) -> int:
+        return len(self.operations)
+
+    def functions_at(self, position: int) -> FunctionSet:
+        """Function set governing ``position`` (upper half shares one set,
+        lower half the other, following Alg. 1 stage 1)."""
+        if not 0 <= position < self.num_positions:
+            raise IndexError(f"position {position} out of range")
+        half = self.num_positions // 2
+        return self.upper_functions if position < half else self.lower_functions
+
+    def count(self, operation: OperationType) -> int:
+        """Number of positions holding the given operation."""
+        return sum(1 for op in self.operations if op is operation)
+
+    def key(self) -> tuple:
+        """Hashable identity used for deduplication during search."""
+        return (
+            tuple(op.value for op in self.operations),
+            tuple(sorted(self.upper_functions.to_dict().items())),
+            tuple(sorted(self.lower_functions.to_dict().items())),
+            self.input_dim,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Resolution into effective operations
+    # ------------------------------------------------------------------ #
+    def effective_ops(self) -> list[EffectiveOp]:
+        """Resolve positions into the merged list of executed operations.
+
+        Consecutive sample operations collapse into the last one, sample
+        operations never followed by an aggregate are dropped, aggregates
+        with no prior graph get an implicit sample inserted, and identity
+        connects vanish.
+        """
+        ops: list[EffectiveOp] = []
+        dim = self.input_dim
+        has_graph = False
+        pending_sample: EffectiveOp | None = None
+
+        def flush_sample() -> None:
+            nonlocal pending_sample, has_graph
+            if pending_sample is not None:
+                ops.append(pending_sample)
+                has_graph = True
+                pending_sample = None
+
+        for position, operation in enumerate(self.operations):
+            functions = self.functions_at(position)
+            if operation is OperationType.SAMPLE:
+                # Adjacent samples merge: only the most recent one survives.
+                pending_sample = EffectiveOp(
+                    kind="sample",
+                    position=position,
+                    in_dim=dim,
+                    out_dim=dim,
+                    sample_method=functions.sample_method,
+                )
+            elif operation is OperationType.AGGREGATE:
+                if pending_sample is None and not has_graph:
+                    # Implicit graph construction so the aggregate is well defined.
+                    pending_sample = EffectiveOp(
+                        kind="sample",
+                        position=position,
+                        in_dim=dim,
+                        out_dim=dim,
+                        sample_method=functions.sample_method,
+                    )
+                flush_sample()
+                out_dim = message_dim(functions.message_type, dim)
+                ops.append(
+                    EffectiveOp(
+                        kind="aggregate",
+                        position=position,
+                        in_dim=dim,
+                        out_dim=out_dim,
+                        aggregator=functions.aggregator,
+                        message_type=functions.message_type,
+                    )
+                )
+                dim = out_dim
+            elif operation is OperationType.COMBINE:
+                flush_sample()
+                ops.append(
+                    EffectiveOp(
+                        kind="combine",
+                        position=position,
+                        in_dim=dim,
+                        out_dim=functions.combine_dim,
+                        combine_dim=functions.combine_dim,
+                    )
+                )
+                dim = functions.combine_dim
+            elif operation is OperationType.CONNECT:
+                if functions.connect_mode == "skip":
+                    flush_sample()
+                    ops.append(
+                        EffectiveOp(
+                            kind="connect_skip",
+                            position=position,
+                            in_dim=dim,
+                            out_dim=dim + self.input_dim,
+                        )
+                    )
+                    dim = dim + self.input_dim
+                # identity: nothing to execute
+            else:  # pragma: no cover - enum is exhaustive
+                raise ValueError(f"unhandled operation {operation}")
+        # A trailing sample never followed by an aggregate is dead and dropped.
+        return ops
+
+    def output_dim(self) -> int:
+        """Feature width entering the classifier head."""
+        ops = self.effective_ops()
+        return ops[-1].out_dim if ops else self.input_dim
+
+    def num_valid_samples(self) -> int:
+        """Number of graph constructions actually executed (post merge)."""
+        return sum(1 for op in self.effective_ops() if op.kind == "sample")
+
+    # ------------------------------------------------------------------ #
+    # Lowering to the hardware IR
+    # ------------------------------------------------------------------ #
+    def to_workload(
+        self,
+        num_points: int = 1024,
+        k: int = 20,
+        num_classes: int = 40,
+    ) -> Workload:
+        """Lower to a device-independent hardware workload.
+
+        Args:
+            num_points: Point-cloud size of the deployment scenario.
+            k: Neighbourhood size used by sample operations.
+            num_classes: Output classes of the final classifier.
+        """
+        if num_points <= 0 or k <= 0 or num_classes <= 1:
+            raise ValueError("num_points, k must be positive and num_classes > 1")
+        workload = Workload(num_points=num_points, name=self.name or "architecture")
+        for op in self.effective_ops():
+            workload.add(effective_op_to_descriptor(op, num_points, k))
+        final_dim = self.output_dim()
+        workload.add(
+            OpDescriptor(kind="pooling", num_points=num_points, in_dim=final_dim, name="global_pool")
+        )
+        workload.add(
+            OpDescriptor(
+                kind="classifier",
+                num_points=num_points,
+                in_dim=2 * final_dim,
+                out_dim=num_classes,
+                name="classifier",
+            )
+        )
+        return workload
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, object]:
+        """Serialise to a plain dictionary (JSON compatible)."""
+        return {
+            "operations": [op.value for op in self.operations],
+            "upper_functions": self.upper_functions.to_dict(),
+            "lower_functions": self.lower_functions.to_dict(),
+            "input_dim": self.input_dim,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "Architecture":
+        """Deserialise from :meth:`to_dict` output."""
+        return cls(
+            operations=tuple(OperationType(op) for op in data["operations"]),
+            upper_functions=FunctionSet.from_dict(data["upper_functions"]),
+            lower_functions=FunctionSet.from_dict(data["lower_functions"]),
+            input_dim=int(data.get("input_dim", 3)),
+            name=str(data.get("name", "")),
+        )
+
+    @classmethod
+    def random(
+        cls,
+        num_positions: int,
+        rng: np.random.Generator,
+        upper_functions: FunctionSet | None = None,
+        lower_functions: FunctionSet | None = None,
+        input_dim: int = 3,
+    ) -> "Architecture":
+        """Sample an architecture with uniformly random operations."""
+        from repro.nas.ops import random_function_set
+
+        choices = OperationType.list()
+        operations = tuple(choices[int(i)] for i in rng.integers(0, len(choices), size=num_positions))
+        return cls(
+            operations=operations,
+            upper_functions=upper_functions or random_function_set(rng),
+            lower_functions=lower_functions or random_function_set(rng),
+            input_dim=input_dim,
+        )

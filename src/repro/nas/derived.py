@@ -1,0 +1,83 @@
+"""Stand-alone models derived from a searched architecture.
+
+After the search, the winning :class:`~repro.nas.architecture.Architecture`
+is instantiated as a :class:`DerivedModel` with its *real* feature widths
+(the supernet's alignment layers are discarded, as the paper describes) and
+trained from scratch for deployment or accuracy evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Batch
+from repro.graph.batching import batched_knn_graph, batched_random_graph
+from repro.graph.message import build_messages
+from repro.graph.scatter import scatter
+from repro.models.classifier import ClassificationHead
+from repro.nas.architecture import Architecture, EffectiveOp
+from repro.nn import functional as F
+from repro.nn.layers import Linear, Module
+from repro.nn.tensor import Tensor, concatenate
+
+__all__ = ["DerivedModel"]
+
+
+class DerivedModel(Module):
+    """Executable model for a finalised architecture."""
+
+    def __init__(
+        self,
+        architecture: Architecture,
+        num_classes: int,
+        k: int = 10,
+        embed_dim: int = 64,
+        dropout: float = 0.3,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.architecture = architecture
+        self.k = k
+        rng = np.random.default_rng(seed)
+        self.ops: list[EffectiveOp] = architecture.effective_ops()
+        self.combines: dict[int, Linear] = {}
+        for index, op in enumerate(self.ops):
+            if op.kind == "combine":
+                layer = Linear(op.in_dim, op.out_dim, rng=rng)
+                self.add_module(f"combine{index}", layer)
+                self.combines[index] = layer
+        self.head = ClassificationHead(
+            architecture.output_dim(),
+            num_classes,
+            embed_dim=embed_dim,
+            hidden_dims=(embed_dim, embed_dim // 2),
+            dropout=dropout,
+            rng=rng,
+        )
+        self._graph_rng = np.random.default_rng(seed + 1)
+
+    def forward(self, batch: Batch) -> Tensor:
+        """Classify a batch of point clouds with the derived architecture."""
+        inputs = Tensor(batch.points)
+        x = inputs
+        edge_index: np.ndarray | None = None
+        for index, op in enumerate(self.ops):
+            if op.kind == "sample":
+                if op.sample_method == "knn":
+                    edge_index = batched_knn_graph(x.data, batch.batch, self.k)
+                else:
+                    edge_index = batched_random_graph(batch.batch, self.k, self._graph_rng)
+            elif op.kind == "aggregate":
+                if edge_index is None:
+                    edge_index = batched_knn_graph(x.data, batch.batch, self.k)
+                messages = build_messages(x, edge_index, op.message_type)
+                x = scatter(messages, edge_index[1], x.shape[0], op.aggregator)
+            elif op.kind == "combine":
+                x = F.leaky_relu(self.combines[index](x), 0.2)
+            elif op.kind == "connect_skip":
+                x = concatenate([x, inputs], axis=1)
+            else:  # pragma: no cover - effective ops are exhaustive
+                raise ValueError(f"unhandled effective op '{op.kind}'")
+        return self.head(x, batch.batch, batch.num_graphs)

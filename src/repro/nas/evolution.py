@@ -1,0 +1,170 @@
+"""Generic evolutionary search used by both stages of Alg. 1.
+
+The evolutionary algorithm is genotype-agnostic: the caller supplies
+initialisation, mutation, crossover and evaluation callables.  Fitness
+evaluations are cached by genotype key, the best-so-far trajectory is
+recorded against a (virtual) clock, and ties are broken deterministically,
+so search runs are fully reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generic, Hashable, TypeVar
+
+import numpy as np
+
+from repro.utils.timer import VirtualClock
+
+__all__ = ["EvolutionConfig", "HistoryPoint", "EvolutionResult", "EvolutionarySearch"]
+
+Genotype = TypeVar("Genotype")
+
+
+@dataclass(frozen=True)
+class EvolutionConfig:
+    """Evolution hyper-parameters (paper defaults: population 20)."""
+
+    population_size: int = 20
+    parent_fraction: float = 0.5
+    mutation_probability: float = 0.8
+    crossover_probability: float = 0.5
+    mutations_per_child: int = 1
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError("population_size must be at least 2")
+        if not 0 < self.parent_fraction <= 1:
+            raise ValueError("parent_fraction must be in (0, 1]")
+        if not 0 <= self.mutation_probability <= 1:
+            raise ValueError("mutation_probability must be in [0, 1]")
+        if not 0 <= self.crossover_probability <= 1:
+            raise ValueError("crossover_probability must be in [0, 1]")
+        if self.mutations_per_child <= 0:
+            raise ValueError("mutations_per_child must be positive")
+
+
+@dataclass(frozen=True)
+class HistoryPoint:
+    """Best-so-far snapshot after one generation."""
+
+    iteration: int
+    evaluations: int
+    best_score: float
+    clock_s: float
+
+
+@dataclass
+class EvolutionResult(Generic[Genotype]):
+    """Outcome of an evolutionary run."""
+
+    best: Genotype
+    best_score: float
+    history: list[HistoryPoint] = field(default_factory=list)
+    population: list[tuple[Genotype, float]] = field(default_factory=list)
+    evaluations: int = 0
+
+
+class EvolutionarySearch(Generic[Genotype]):
+    """Mutation/crossover EA with fitness caching and elitist selection."""
+
+    def __init__(
+        self,
+        config: EvolutionConfig,
+        initialize: Callable[[np.random.Generator], Genotype],
+        mutate: Callable[[Genotype, np.random.Generator, int], Genotype],
+        evaluate: Callable[[Genotype], float],
+        rng: np.random.Generator,
+        crossover: Callable[[Genotype, Genotype, np.random.Generator], Genotype] | None = None,
+        key: Callable[[Genotype], Hashable] | None = None,
+        clock: VirtualClock | None = None,
+        evaluation_cost_s: float = 0.0,
+    ):
+        self.config = config
+        self.initialize = initialize
+        self.mutate = mutate
+        self.crossover = crossover
+        self.evaluate_fn = evaluate
+        self.key_fn = key if key is not None else (lambda genotype: genotype)
+        self.rng = rng
+        self.clock = clock if clock is not None else VirtualClock()
+        self.evaluation_cost_s = evaluation_cost_s
+        self._cache: dict[Hashable, float] = {}
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------ #
+    def _evaluate(self, genotype: Genotype) -> float:
+        cache_key = self.key_fn(genotype)
+        if cache_key in self._cache:
+            return self._cache[cache_key]
+        score = float(self.evaluate_fn(genotype))
+        self._cache[cache_key] = score
+        self.evaluations += 1
+        self.clock.advance(self.evaluation_cost_s)
+        return score
+
+    def _make_child(self, parents: list[tuple[Genotype, float]]) -> Genotype:
+        first = parents[int(self.rng.integers(0, len(parents)))][0]
+        child = first
+        if (
+            self.crossover is not None
+            and len(parents) > 1
+            and self.rng.random() < self.config.crossover_probability
+        ):
+            second = parents[int(self.rng.integers(0, len(parents)))][0]
+            child = self.crossover(first, second, self.rng)
+        if self.rng.random() < self.config.mutation_probability or child is first:
+            child = self.mutate(child, self.rng, self.config.mutations_per_child)
+        return child
+
+    def run(self, iterations: int) -> EvolutionResult[Genotype]:
+        """Run the EA for ``iterations`` generations.
+
+        Args:
+            iterations: Number of generations after the random initial one.
+
+        Returns:
+            The best genotype found, its score and the search history.
+        """
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        population: list[tuple[Genotype, float]] = []
+        for _ in range(self.config.population_size):
+            genotype = self.initialize(self.rng)
+            population.append((genotype, self._evaluate(genotype)))
+        population.sort(key=lambda item: item[1], reverse=True)
+        history = [
+            HistoryPoint(
+                iteration=0,
+                evaluations=self.evaluations,
+                best_score=population[0][1],
+                clock_s=self.clock.now,
+            )
+        ]
+
+        num_parents = max(2, int(round(self.config.parent_fraction * self.config.population_size)))
+        for iteration in range(1, iterations + 1):
+            parents = population[:num_parents]
+            children: list[tuple[Genotype, float]] = []
+            while len(children) < self.config.population_size - num_parents:
+                child = self._make_child(parents)
+                children.append((child, self._evaluate(child)))
+            population = parents + children
+            population.sort(key=lambda item: item[1], reverse=True)
+            history.append(
+                HistoryPoint(
+                    iteration=iteration,
+                    evaluations=self.evaluations,
+                    best_score=population[0][1],
+                    clock_s=self.clock.now,
+                )
+            )
+
+        best, best_score = population[0]
+        return EvolutionResult(
+            best=best,
+            best_score=best_score,
+            history=history,
+            population=population,
+            evaluations=self.evaluations,
+        )

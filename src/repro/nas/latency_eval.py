@@ -1,0 +1,76 @@
+"""Latency evaluators used during architecture search.
+
+Three interchangeable oracles provide the ``lat(A, H)`` term of the search
+objective:
+
+* :class:`OracleLatencyEvaluator` — the noise-free analytical model
+  (useful for tests and for generating predictor training labels).
+* :class:`MeasurementLatencyEvaluator` — the simulated on-device
+  measurement: noisy and *slow* (each query advances the search clock by the
+  device's measurement round trip), reproducing the cost of real-time
+  measurement in Fig. 9(a).
+* ``PredictorLatencyEvaluator`` (in :mod:`repro.predictor.evaluator`) — the
+  paper's GNN-based predictor: approximate but answers in milliseconds.
+
+All evaluators share the same duck-typed interface: ``evaluate(architecture)
+-> latency in ms`` and ``query_cost_s`` (simulated wall-clock cost of one
+query).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro.hardware.device import DeviceSpec
+from repro.hardware.latency import estimate_latency
+from repro.hardware.measurement import DeviceMeasurement
+from repro.nas.architecture import Architecture
+
+__all__ = ["LatencyEvaluator", "OracleLatencyEvaluator", "MeasurementLatencyEvaluator"]
+
+
+class LatencyEvaluator(Protocol):
+    """Interface of a latency oracle used by the search."""
+
+    query_cost_s: float
+
+    def evaluate(self, architecture: Architecture) -> float:
+        """Return the estimated/measured latency of ``architecture`` in ms."""
+        ...
+
+
+@dataclass
+class OracleLatencyEvaluator:
+    """Noise-free analytical latency (zero query cost)."""
+
+    device: DeviceSpec
+    num_points: int = 1024
+    k: int = 20
+    num_classes: int = 40
+    query_cost_s: float = 0.0
+
+    def evaluate(self, architecture: Architecture) -> float:
+        workload = architecture.to_workload(self.num_points, self.k, self.num_classes)
+        return estimate_latency(workload, self.device).total_ms
+
+
+@dataclass
+class MeasurementLatencyEvaluator:
+    """Simulated on-device measurement: accurate but slow and noisy."""
+
+    device: DeviceSpec
+    num_points: int = 1024
+    k: int = 20
+    num_classes: int = 40
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+
+    def __post_init__(self) -> None:
+        self._measurement = DeviceMeasurement(device=self.device, rng=self.rng)
+        self.query_cost_s = self.device.measurement_round_trip_s
+
+    def evaluate(self, architecture: Architecture) -> float:
+        workload = architecture.to_workload(self.num_points, self.k, self.num_classes)
+        return self._measurement.measure_latency_ms(workload)

@@ -1,0 +1,165 @@
+"""Operations and functions of the fine-grained HGNAS design space (Table I).
+
+The design space decouples GNN layers into four basic **operations** placed
+at supernet positions, each parameterised by **functions**:
+
+=============  =====================================================
+Operation      Function
+=============  =====================================================
+Connect        skip-connect, identity
+Aggregate      aggregator type: sum / min / max / mean
+               message type: source pos / target pos / rel pos /
+               distance / source||rel / target||rel / full
+Combine        hidden dimension: 8, 16, 32, 64, 128, 256
+Sample         KNN, random
+=============  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.graph.message import MESSAGE_TYPES
+
+__all__ = [
+    "OperationType",
+    "AGGREGATOR_TYPES",
+    "MESSAGE_TYPES",
+    "COMBINE_DIMS",
+    "SAMPLE_METHODS",
+    "CONNECT_MODES",
+    "FunctionSet",
+    "random_function_set",
+    "mutate_function_set",
+    "function_space_size",
+    "FUNCTION_FIELDS",
+]
+
+
+class OperationType(str, Enum):
+    """The four basic operations of the decoupled message-passing paradigm."""
+
+    CONNECT = "connect"
+    AGGREGATE = "aggregate"
+    COMBINE = "combine"
+    SAMPLE = "sample"
+
+    @classmethod
+    def list(cls) -> list["OperationType"]:
+        """All operation types, in canonical order."""
+        return [cls.CONNECT, cls.AGGREGATE, cls.COMBINE, cls.SAMPLE]
+
+
+#: Aggregator candidates for the aggregate operation.
+AGGREGATOR_TYPES = ("sum", "min", "max", "mean")
+#: Hidden-dimension candidates for the combine operation.
+COMBINE_DIMS = (8, 16, 32, 64, 128, 256)
+#: Graph-sampling candidates for the sample operation.
+SAMPLE_METHODS = ("knn", "random")
+#: Connection candidates for the connect operation.
+CONNECT_MODES = ("skip", "identity")
+
+#: Function fields with their candidate values, in encoding order.
+FUNCTION_FIELDS: dict[str, tuple] = {
+    "aggregator": AGGREGATOR_TYPES,
+    "message_type": MESSAGE_TYPES,
+    "combine_dim": COMBINE_DIMS,
+    "sample_method": SAMPLE_METHODS,
+    "connect_mode": CONNECT_MODES,
+}
+
+
+@dataclass(frozen=True)
+class FunctionSet:
+    """A complete function assignment shared by one half of the supernet.
+
+    HGNAS shares one :class:`FunctionSet` among the upper half of the
+    positions and another among the lower half (Alg. 1, stage 1), which
+    collapses the function space from exponential-in-positions to a small
+    product of the candidate lists.
+    """
+
+    aggregator: str = "max"
+    message_type: str = "target_rel"
+    combine_dim: int = 64
+    sample_method: str = "knn"
+    connect_mode: str = "skip"
+
+    def __post_init__(self) -> None:
+        if self.aggregator not in AGGREGATOR_TYPES:
+            raise ValueError(f"unknown aggregator '{self.aggregator}'")
+        if self.message_type not in MESSAGE_TYPES:
+            raise ValueError(f"unknown message type '{self.message_type}'")
+        if self.combine_dim not in COMBINE_DIMS:
+            raise ValueError(f"combine_dim must be one of {COMBINE_DIMS}, got {self.combine_dim}")
+        if self.sample_method not in SAMPLE_METHODS:
+            raise ValueError(f"unknown sample method '{self.sample_method}'")
+        if self.connect_mode not in CONNECT_MODES:
+            raise ValueError(f"unknown connect mode '{self.connect_mode}'")
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialise to a plain dictionary."""
+        return {
+            "aggregator": self.aggregator,
+            "message_type": self.message_type,
+            "combine_dim": self.combine_dim,
+            "sample_method": self.sample_method,
+            "connect_mode": self.connect_mode,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "FunctionSet":
+        """Deserialise from :meth:`to_dict` output."""
+        return cls(
+            aggregator=str(data["aggregator"]),
+            message_type=str(data["message_type"]),
+            combine_dim=int(data["combine_dim"]),
+            sample_method=str(data["sample_method"]),
+            connect_mode=str(data["connect_mode"]),
+        )
+
+    def replace(self, **changes: object) -> "FunctionSet":
+        """Return a copy with selected fields changed."""
+        data = self.to_dict()
+        data.update(changes)
+        return FunctionSet.from_dict(data)
+
+
+def function_space_size() -> int:
+    """Number of distinct :class:`FunctionSet` assignments (per half)."""
+    size = 1
+    for candidates in FUNCTION_FIELDS.values():
+        size *= len(candidates)
+    return size
+
+
+def random_function_set(rng: np.random.Generator) -> FunctionSet:
+    """Sample a uniformly random function set."""
+    return FunctionSet(
+        aggregator=str(rng.choice(AGGREGATOR_TYPES)),
+        message_type=str(rng.choice(MESSAGE_TYPES)),
+        combine_dim=int(rng.choice(COMBINE_DIMS)),
+        sample_method=str(rng.choice(SAMPLE_METHODS)),
+        connect_mode=str(rng.choice(CONNECT_MODES)),
+    )
+
+
+def mutate_function_set(
+    functions: FunctionSet, rng: np.random.Generator, num_mutations: int = 1
+) -> FunctionSet:
+    """Return a copy with ``num_mutations`` random fields resampled."""
+    if num_mutations <= 0:
+        raise ValueError("num_mutations must be positive")
+    fields = list(FUNCTION_FIELDS.keys())
+    chosen = rng.choice(len(fields), size=min(num_mutations, len(fields)), replace=False)
+    changes: dict[str, object] = {}
+    for index in np.atleast_1d(chosen):
+        name = fields[int(index)]
+        candidates = FUNCTION_FIELDS[name]
+        current = getattr(functions, name)
+        alternatives = [c for c in candidates if c != current]
+        changes[name] = alternatives[int(rng.integers(0, len(alternatives)))]
+    return functions.replace(**changes)

@@ -1,0 +1,136 @@
+"""Preset architectures expressed in the fine-grained design space.
+
+``dgcnn_architecture`` shows that the 12-position space covers the DGCNN
+backbone (the paper's stated design goal); the four ``*_fast`` presets
+transcribe the per-device architectures visualised in the paper's Fig. 10
+(fewer valid KNN constructions on GPU-like devices, fewer/cheaper
+aggregations on the CPU, simplified everything on the Raspberry Pi), and
+are used by the visualisation experiment and as regression anchors for the
+hardware model.
+
+Positions 0..N/2-1 share the *upper* function set and positions N/2..N-1
+share the *lower* one, so each preset is written as an (upper ops, lower
+ops) pair padded with identity connects.
+"""
+
+from __future__ import annotations
+
+from repro.nas.architecture import Architecture
+from repro.nas.ops import FunctionSet, OperationType
+
+__all__ = [
+    "dgcnn_architecture",
+    "rtx_fast_architecture",
+    "intel_fast_architecture",
+    "tx2_fast_architecture",
+    "pi_fast_architecture",
+    "device_fast_architecture",
+    "device_acc_architecture",
+]
+
+_S = OperationType.SAMPLE
+_A = OperationType.AGGREGATE
+_C = OperationType.COMBINE
+_N = OperationType.CONNECT
+
+
+def _split_halves(
+    upper_ops: list[OperationType], lower_ops: list[OperationType], num_positions: int
+) -> tuple[OperationType, ...]:
+    """Pad each half with identity connects so the function sharing lines up."""
+    half = num_positions // 2
+    if len(upper_ops) > half or len(lower_ops) > half:
+        raise ValueError(
+            f"each half holds at most {half} operations "
+            f"(got {len(upper_ops)} upper, {len(lower_ops)} lower)"
+        )
+    upper = list(upper_ops) + [_N] * (half - len(upper_ops))
+    lower = list(lower_ops) + [_N] * (num_positions - half - len(lower_ops))
+    return tuple(upper + lower)
+
+
+def dgcnn_architecture(num_positions: int = 12) -> Architecture:
+    """DGCNN expressed in the design space: repeated (sample, aggregate, combine).
+
+    At the paper's 12 positions this is the full four-layer backbone; smaller
+    supernets get proportionally fewer EdgeConv blocks.  With shared function
+    sets the EdgeConv widths collapse to two (64 for the upper half, 256 for
+    the lower half), the closest representable point to the original
+    64/64/128/256 backbone.
+    """
+    if num_positions < 6:
+        raise ValueError("the DGCNN preset needs at least 6 positions (one EdgeConv block per half)")
+    num_layers = max(num_positions // 3, 1)
+    upper_layers = (num_layers + 1) // 2
+    lower_layers = num_layers - upper_layers
+    operations = _split_halves([_S, _A, _C] * upper_layers, [_S, _A, _C] * lower_layers, num_positions)
+    upper = FunctionSet(aggregator="max", message_type="target_rel", combine_dim=64, sample_method="knn", connect_mode="identity")
+    lower = FunctionSet(aggregator="max", message_type="target_rel", combine_dim=256, sample_method="knn", connect_mode="identity")
+    return Architecture(operations=operations, upper_functions=upper, lower_functions=lower, name="dgcnn")
+
+
+def rtx_fast_architecture(num_positions: int = 12) -> Architecture:
+    """Fig. 10 RTX_Fast: a single valid KNN, two aggregates, one combine."""
+    operations = _split_halves([_S, _C, _A], [_A, _S], num_positions)
+    upper = FunctionSet(aggregator="max", message_type="target_rel", combine_dim=64, sample_method="knn", connect_mode="identity")
+    lower = FunctionSet(aggregator="mean", message_type="target_rel", combine_dim=64, sample_method="knn", connect_mode="identity")
+    return Architecture(operations=operations, upper_functions=upper, lower_functions=lower, name="rtx_fast")
+
+
+def intel_fast_architecture(num_positions: int = 12) -> Architecture:
+    """Fig. 10 Intel_Fast: few, narrow aggregations (the CPU is aggregate-bound)."""
+    operations = _split_halves([_S, _C, _A, _C], [_C, _A], num_positions)
+    upper = FunctionSet(aggregator="max", message_type="source_pos", combine_dim=64, sample_method="knn", connect_mode="identity")
+    lower = FunctionSet(aggregator="mean", message_type="source_pos", combine_dim=32, sample_method="knn", connect_mode="identity")
+    return Architecture(operations=operations, upper_functions=upper, lower_functions=lower, name="intel_fast")
+
+
+def tx2_fast_architecture(num_positions: int = 12) -> Architecture:
+    """Fig. 10 TX2_Fast: one KNN, three aggregates, one combine."""
+    operations = _split_halves([_S, _A, _A], [_C, _A], num_positions)
+    upper = FunctionSet(aggregator="max", message_type="target_rel", combine_dim=128, sample_method="knn", connect_mode="identity")
+    lower = FunctionSet(aggregator="mean", message_type="source_pos", combine_dim=128, sample_method="knn", connect_mode="identity")
+    return Architecture(operations=operations, upper_functions=upper, lower_functions=lower, name="tx2_fast")
+
+
+def pi_fast_architecture(num_positions: int = 12) -> Architecture:
+    """Fig. 10 Pi_Fast: simplified operations (cheap messages, small combines)."""
+    operations = _split_halves([_S, _S, _C, _A], [_C, _C, _A], num_positions)
+    upper = FunctionSet(aggregator="max", message_type="source_pos", combine_dim=64, sample_method="knn", connect_mode="identity")
+    lower = FunctionSet(aggregator="max", message_type="source_pos", combine_dim=32, sample_method="knn", connect_mode="identity")
+    return Architecture(operations=operations, upper_functions=upper, lower_functions=lower, name="pi_fast")
+
+
+def device_acc_architecture(device_name: str, num_positions: int = 12) -> Architecture:
+    """Accuracy-preserving variant ("Device-Acc" in Table II).
+
+    Same operation layout as the fast preset for the device, but with richer
+    functions (expressive ``target||rel`` messages and wider combines), which
+    trades back some of the latency gain for accuracy — mirroring how the
+    paper's Acc models sit between DGCNN and the Fast models on the
+    latency axis.
+    """
+    fast = device_fast_architecture(device_name, num_positions)
+    upper = fast.upper_functions.replace(message_type="target_rel", combine_dim=128)
+    lower = fast.lower_functions.replace(message_type="target_rel", combine_dim=128)
+    return Architecture(
+        operations=fast.operations,
+        upper_functions=upper,
+        lower_functions=lower,
+        input_dim=fast.input_dim,
+        name=fast.name.replace("fast", "acc"),
+    )
+
+
+def device_fast_architecture(device_name: str, num_positions: int = 12) -> Architecture:
+    """Return the Fig. 10 preset matching a device name (aliases accepted)."""
+    key = device_name.strip().lower()
+    if "rtx" in key or key == "gpu":
+        return rtx_fast_architecture(num_positions)
+    if "i7" in key or "intel" in key or key == "cpu":
+        return intel_fast_architecture(num_positions)
+    if "tx2" in key or "jetson" in key:
+        return tx2_fast_architecture(num_positions)
+    if "pi" in key or "raspberry" in key:
+        return pi_fast_architecture(num_positions)
+    raise KeyError(f"no preset architecture for device '{device_name}'")

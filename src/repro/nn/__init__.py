@@ -1,0 +1,81 @@
+"""A compact numpy autograd engine with layers, losses and optimisers.
+
+This package stands in for PyTorch in the HGNAS reproduction.  It provides
+exactly the machinery the paper's models need: reverse-mode autodiff
+(:mod:`repro.nn.tensor`), layers (:mod:`repro.nn.layers`), optimisers
+(:mod:`repro.nn.optim`), losses (:mod:`repro.nn.loss`) and learning-rate
+schedules (:mod:`repro.nn.scheduler`).
+"""
+
+from repro.nn import functional, init
+from repro.nn.layers import (
+    MLP,
+    BatchNorm1d,
+    Dropout,
+    Identity,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.nn.loss import (
+    accuracy,
+    balanced_accuracy,
+    cross_entropy,
+    huber_loss,
+    mae_loss,
+    mape_loss,
+    mse_loss,
+    nll_loss,
+)
+from repro.nn.optim import SGD, Adam, AdamW, Optimizer, clip_grad_norm
+from repro.nn.scheduler import (
+    CosineAnnealingLR,
+    ExponentialLR,
+    LRScheduler,
+    StepLR,
+    WarmupCosineLR,
+)
+from repro.nn.tensor import Tensor, apply_op, as_tensor, concatenate, is_grad_enabled, no_grad, stack
+
+__all__ = [
+    "functional",
+    "init",
+    "Tensor",
+    "as_tensor",
+    "apply_op",
+    "no_grad",
+    "is_grad_enabled",
+    "concatenate",
+    "stack",
+    "Module",
+    "Linear",
+    "MLP",
+    "BatchNorm1d",
+    "LayerNorm",
+    "Dropout",
+    "ReLU",
+    "LeakyReLU",
+    "Sequential",
+    "Identity",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "clip_grad_norm",
+    "LRScheduler",
+    "StepLR",
+    "ExponentialLR",
+    "CosineAnnealingLR",
+    "WarmupCosineLR",
+    "cross_entropy",
+    "nll_loss",
+    "mse_loss",
+    "mae_loss",
+    "mape_loss",
+    "huber_loss",
+    "accuracy",
+    "balanced_accuracy",
+]

@@ -1,0 +1,149 @@
+"""Gradient-descent optimisers."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW", "clip_grad_norm"]
+
+
+def clip_grad_norm(parameters: Iterable[Tensor], max_norm: float) -> float:
+    """Clip the global L2 norm of gradients in-place.
+
+    Args:
+        parameters: Parameters whose ``grad`` fields are clipped.
+        max_norm: Maximum allowed global norm (must be positive).
+
+    Returns:
+        The global norm before clipping.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    params = [p for p in parameters if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params))) if params else 0.0
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad *= scale
+    return total
+
+
+class Optimizer:
+    """Base optimiser storing parameter references and common options."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float, weight_decay: float = 0.0):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if weight_decay < 0:
+            raise ValueError(f"weight decay must be non-negative, got {weight_decay}")
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        self.lr = lr
+        self.weight_decay = weight_decay
+
+    def zero_grad(self) -> None:
+        """Clear all parameter gradients."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update; implemented by sub-classes."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and Nesterov."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ):
+        super().__init__(parameters, lr, weight_decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.nesterov = nesterov
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = grad + self.momentum * velocity if self.nesterov else velocity
+            param.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015) with L2-coupled weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr, weight_decay)
+        if not (0.0 <= betas[0] < 1.0 and 0.0 <= betas[1] < 1.0):
+            raise ValueError(f"betas must lie in [0, 1), got {betas}")
+        self.betas = betas
+        self.eps = eps
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _decayed_grad(self, param: Tensor) -> np.ndarray:
+        grad = param.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        return grad
+
+    def step(self) -> None:
+        self._step += 1
+        beta1, beta2 = self.betas
+        bias_correction1 = 1.0 - beta1**self._step
+        bias_correction2 = 1.0 - beta2**self._step
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = self._decayed_grad(param)
+            m *= beta1
+            m += (1 - beta1) * grad
+            v *= beta2
+            v += (1 - beta2) * grad**2
+            m_hat = m / bias_correction1
+            v_hat = v / bias_correction2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2019)."""
+
+    def _decayed_grad(self, param: Tensor) -> np.ndarray:
+        # Decoupled: the decay is applied directly to the weights in step().
+        return param.grad
+
+    def step(self) -> None:
+        if self.weight_decay:
+            for param in self.parameters:
+                if param.grad is not None:
+                    param.data -= self.lr * self.weight_decay * param.data
+        super().step()

@@ -1,0 +1,90 @@
+"""Learning-rate schedulers."""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.optim import Optimizer
+
+__all__ = ["LRScheduler", "StepLR", "ExponentialLR", "CosineAnnealingLR", "WarmupCosineLR"]
+
+
+class LRScheduler:
+    """Base class: adjusts ``optimizer.lr`` once per :meth:`step` call."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.last_epoch = 0
+
+    def get_lr(self) -> float:
+        """Return the learning rate for the current epoch."""
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and update the optimiser's learning rate."""
+        self.last_epoch += 1
+        lr = self.get_lr()
+        self.optimizer.lr = lr
+        return lr
+
+
+class StepLR(LRScheduler):
+    """Decay the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.last_epoch // self.step_size)
+
+
+class ExponentialLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95):
+        super().__init__(optimizer)
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma**self.last_epoch
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine annealing from the base rate to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        if t_max <= 0:
+            raise ValueError(f"t_max must be positive, got {t_max}")
+        super().__init__(optimizer)
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        progress = min(self.last_epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1 + math.cos(math.pi * progress))
+
+
+class WarmupCosineLR(LRScheduler):
+    """Linear warm-up followed by cosine annealing."""
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int, t_max: int, eta_min: float = 0.0):
+        if warmup_epochs < 0:
+            raise ValueError(f"warmup_epochs must be >= 0, got {warmup_epochs}")
+        if t_max <= warmup_epochs:
+            raise ValueError("t_max must exceed warmup_epochs")
+        super().__init__(optimizer)
+        self.warmup_epochs = warmup_epochs
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        if self.warmup_epochs and self.last_epoch <= self.warmup_epochs:
+            return self.base_lr * self.last_epoch / self.warmup_epochs
+        progress = min(self.last_epoch - self.warmup_epochs, self.t_max - self.warmup_epochs)
+        progress /= self.t_max - self.warmup_epochs
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1 + math.cos(math.pi * progress))

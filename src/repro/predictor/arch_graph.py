@@ -1,0 +1,119 @@
+"""Abstraction of GNN architectures into graphs for the latency predictor.
+
+Following the paper's Fig. 5, a candidate architecture becomes a directed
+graph whose nodes are the input, the executed operations and the output,
+with edges along the dataflow.  Because that chain is very sparse, a
+*global node* connected (bidirectionally) to every other node is added to
+improve connectivity, and the input point cloud's properties (size,
+neighbourhood, density) are encoded into its features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.graph.adjacency import sum_aggregation_matrix
+from repro.hardware.cost_model import lower_op
+from repro.nas.architecture import Architecture, effective_op_to_descriptor
+from repro.predictor.encoding import (
+    COST_FEATURE_DIM,
+    FEATURE_DIM,
+    encode_cost_features,
+    encode_global_node,
+    encode_operation_node,
+    encode_terminal_node,
+)
+
+__all__ = ["ArchitectureGraph", "architecture_to_graph"]
+
+
+@dataclass(frozen=True)
+class ArchitectureGraph:
+    """Dense graph representation consumed by the predictor."""
+
+    adjacency: np.ndarray
+    features: np.ndarray
+    node_labels: tuple[str, ...]
+
+    @property
+    def num_nodes(self) -> int:
+        return self.features.shape[0]
+
+    def aggregation_matrix(self) -> np.ndarray:
+        """Sum-aggregation operator ``A + I`` used by the predictor's GCN layers."""
+        return sum_aggregation_matrix(self.adjacency, add_self_loops=True)
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Convert to a networkx digraph (for inspection and tests)."""
+        graph = nx.DiGraph()
+        for index, label in enumerate(self.node_labels):
+            graph.add_node(index, label=label)
+        sources, targets = np.nonzero(self.adjacency.T)
+        for source, target in zip(sources.tolist(), targets.tolist()):
+            graph.add_edge(source, target)
+        return graph
+
+
+def architecture_to_graph(
+    architecture: Architecture,
+    num_points: int = 1024,
+    k: int = 20,
+    include_global_node: bool = True,
+) -> ArchitectureGraph:
+    """Abstract an architecture into the predictor's graph representation.
+
+    Args:
+        architecture: Candidate architecture.
+        num_points: Deployment point-cloud size (encoded in the global node).
+        k: Deployment neighbourhood size (encoded in the global node).
+        include_global_node: Whether to add the globally connected node; the
+            ablation benchmark switches this off to quantify its value.
+
+    Returns:
+        The dense adjacency (``A[t, s] = 1`` for dataflow s -> t), node
+        feature matrix and node labels.
+    """
+    ops = architecture.effective_ops()
+    labels: list[str] = ["input"]
+    features: list[np.ndarray] = [encode_terminal_node("input")]
+    cost_rows: list[np.ndarray] = [np.zeros(COST_FEATURE_DIM)]
+    cost_totals = np.zeros(3, dtype=np.float64)
+    for op in ops:
+        labels.append(op.describe())
+        features.append(encode_operation_node(op))
+        quantities = lower_op(effective_op_to_descriptor(op, num_points, k))
+        cost_rows.append(
+            encode_cost_features(quantities.flops, quantities.irregular_bytes, quantities.knn_pair_dims)
+        )
+        cost_totals += (quantities.flops, quantities.irregular_bytes, quantities.knn_pair_dims)
+    labels.append("output")
+    features.append(encode_terminal_node("output"))
+    cost_rows.append(np.zeros(COST_FEATURE_DIM))
+
+    num_chain = len(labels)
+    num_nodes = num_chain + (1 if include_global_node else 0)
+    adjacency = np.zeros((num_nodes, num_nodes), dtype=np.float64)
+    # Dataflow edges along the chain: A[target, source] = 1.
+    for index in range(num_chain - 1):
+        adjacency[index + 1, index] = 1.0
+
+    if include_global_node:
+        labels.append("global")
+        features.append(encode_global_node(num_points, k, len(ops)))
+        cost_rows.append(encode_cost_features(*cost_totals))
+        global_index = num_nodes - 1
+        for index in range(num_chain):
+            adjacency[global_index, index] = 1.0
+            adjacency[index, global_index] = 1.0
+
+    feature_matrix = np.concatenate([np.stack(features, axis=0), np.stack(cost_rows, axis=0)], axis=1)
+    if feature_matrix.shape[1] != FEATURE_DIM:
+        raise RuntimeError("inconsistent node feature width")
+    return ArchitectureGraph(
+        adjacency=adjacency,
+        features=feature_matrix,
+        node_labels=tuple(labels),
+    )

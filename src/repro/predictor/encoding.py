@@ -1,0 +1,144 @@
+"""Node-feature encodings for architecture graphs (paper Sec. III-D).
+
+Every node of the abstracted architecture graph receives a feature vector
+made of two parts:
+
+* a one-hot **node-type** encoding over the seven node kinds
+  (input, output, global, sample, aggregate, combine, connect), matching
+  the paper's 7-dimensional operation-type encoding;
+* a **function** encoding describing the op's attributes.  The paper uses a
+  9-dimensional one-hot; because our function space spells out all Table I
+  attributes (message type, aggregator, combine width, sampler, connect
+  mode) we use a slightly wider fixed-length block so every attribute is
+  represented exactly — the structure (one-hot per attribute plus a scaled
+  width) is the same.
+
+The **global node** (added to improve connectivity and inject input-data
+information) carries graph properties — point count, neighbourhood size,
+edge count, density — in the same feature width, zero-padded.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.graph.message import MESSAGE_TYPES
+from repro.nas.architecture import EffectiveOp
+from repro.nas.ops import AGGREGATOR_TYPES, COMBINE_DIMS, SAMPLE_METHODS
+
+__all__ = [
+    "NODE_TYPES",
+    "NODE_TYPE_DIM",
+    "FUNCTION_DIM",
+    "COST_FEATURE_DIM",
+    "FEATURE_DIM",
+    "encode_node_type",
+    "encode_function",
+    "encode_operation_node",
+    "encode_global_node",
+    "encode_terminal_node",
+    "encode_cost_features",
+]
+
+#: Node kinds of the architecture graph, in one-hot order.
+NODE_TYPES = ("input", "output", "global", "sample", "aggregate", "combine", "connect")
+NODE_TYPE_DIM = len(NODE_TYPES)
+
+# Function block layout: message type (7) + aggregator (4) + sampler (2)
+# + connect-skip flag (1) + log-scaled combine width (1)
+# + log-scaled input/output feature widths (2).
+FUNCTION_DIM = len(MESSAGE_TYPES) + len(AGGREGATOR_TYPES) + len(SAMPLE_METHODS) + 1 + 1 + 2
+# Device-independent resource quantities of the op (log-scaled dense FLOPs,
+# irregular bytes and KNN pair-dims).  These are analytically computable
+# properties of the operation -- akin to the FLOPs features common in
+# hardware-aware NAS predictors -- and let a shallow GCN reach useful
+# accuracy from a few hundred labelled architectures instead of the paper's
+# 30K measured samples.  They carry no device information: the mapping from
+# quantities to latency on a *specific* device is still learned.
+COST_FEATURE_DIM = 3
+#: Total per-node feature width.
+FEATURE_DIM = NODE_TYPE_DIM + FUNCTION_DIM + COST_FEATURE_DIM
+
+_MAX_LOG_COMBINE = math.log2(max(COMBINE_DIMS))
+# Feature widths inside an architecture can exceed the largest combine
+# candidate (e.g. 'full' messages on wide features); normalise with headroom.
+_MAX_LOG_WIDTH = _MAX_LOG_COMBINE + 2.0
+
+
+def encode_cost_features(flops: float, irregular_bytes: float, knn_pair_dims: float) -> np.ndarray:
+    """Log-scaled resource quantities of one operation (see COST_FEATURE_DIM)."""
+    if min(flops, irregular_bytes, knn_pair_dims) < 0:
+        raise ValueError("resource quantities must be non-negative")
+    return np.array(
+        [
+            math.log10(1.0 + flops) / 12.0,
+            math.log10(1.0 + irregular_bytes) / 12.0,
+            math.log10(1.0 + knn_pair_dims) / 12.0,
+        ],
+        dtype=np.float64,
+    )
+
+
+def encode_node_type(node_type: str) -> np.ndarray:
+    """One-hot encoding of a node kind."""
+    if node_type not in NODE_TYPES:
+        raise ValueError(f"unknown node type '{node_type}', expected one of {NODE_TYPES}")
+    vector = np.zeros(NODE_TYPE_DIM, dtype=np.float64)
+    vector[NODE_TYPES.index(node_type)] = 1.0
+    return vector
+
+
+def encode_function(op: EffectiveOp) -> np.ndarray:
+    """Encode the function attributes of one effective operation."""
+    vector = np.zeros(FUNCTION_DIM, dtype=np.float64)
+    offset = 0
+    if op.kind == "aggregate":
+        vector[offset + MESSAGE_TYPES.index(op.message_type)] = 1.0
+    offset += len(MESSAGE_TYPES)
+    if op.kind == "aggregate":
+        vector[offset + AGGREGATOR_TYPES.index(op.aggregator)] = 1.0
+    offset += len(AGGREGATOR_TYPES)
+    if op.kind == "sample":
+        vector[offset + SAMPLE_METHODS.index(op.sample_method)] = 1.0
+    offset += len(SAMPLE_METHODS)
+    if op.kind == "connect_skip":
+        vector[offset] = 1.0
+    offset += 1
+    if op.kind == "combine":
+        vector[offset] = math.log2(max(op.out_dim, 1)) / _MAX_LOG_COMBINE
+    offset += 1
+    # Feature widths entering and leaving the op: the per-op hardware cost
+    # depends directly on them, so exposing them (log-scaled) lets the
+    # predictor reason about cost without propagating widths across the
+    # whole chain through only three GCN layers.
+    vector[offset] = math.log2(max(op.in_dim, 1)) / _MAX_LOG_WIDTH
+    vector[offset + 1] = math.log2(max(op.out_dim, 1)) / _MAX_LOG_WIDTH
+    return vector
+
+
+def encode_operation_node(op: EffectiveOp) -> np.ndarray:
+    """Full feature vector of an operation node."""
+    node_type = "connect" if op.kind == "connect_skip" else op.kind
+    return np.concatenate([encode_node_type(node_type), encode_function(op)])
+
+
+def encode_terminal_node(kind: str) -> np.ndarray:
+    """Feature vector of the input or output node (zero function block)."""
+    if kind not in ("input", "output"):
+        raise ValueError("terminal nodes are 'input' or 'output'")
+    return np.concatenate([encode_node_type(kind), np.zeros(FUNCTION_DIM)])
+
+
+def encode_global_node(num_points: int, k: int, num_ops: int) -> np.ndarray:
+    """Feature vector of the global node, carrying input-data properties."""
+    if num_points <= 0 or k <= 0:
+        raise ValueError("num_points and k must be positive")
+    properties = np.zeros(FUNCTION_DIM, dtype=np.float64)
+    properties[0] = math.log10(num_points) / 4.0  # ~[0.5, 1] for 1e2..1e4 points
+    properties[1] = k / 64.0
+    properties[2] = math.log10(num_points * k) / 6.0  # edge count
+    properties[3] = min(k / num_points, 1.0)  # graph density
+    properties[4] = num_ops / 16.0
+    return np.concatenate([encode_node_type("global"), properties])

@@ -1,0 +1,71 @@
+"""Evaluation metrics for the latency predictor (paper Fig. 8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["mape", "error_bound_accuracy", "PredictorMetrics", "compute_metrics"]
+
+
+def mape(predicted: np.ndarray, measured: np.ndarray, eps: float = 1e-9) -> float:
+    """Mean absolute percentage error (fraction, not percent)."""
+    predicted = np.asarray(predicted, dtype=np.float64)
+    measured = np.asarray(measured, dtype=np.float64)
+    if predicted.shape != measured.shape:
+        raise ValueError("predicted and measured must have the same shape")
+    if predicted.size == 0:
+        return 0.0
+    return float(np.mean(np.abs(predicted - measured) / np.maximum(np.abs(measured), eps)))
+
+
+def error_bound_accuracy(predicted: np.ndarray, measured: np.ndarray, bound: float = 0.10) -> float:
+    """Fraction of predictions within ``bound`` relative error of the measurement.
+
+    The paper reports >80% of predictions within a 10% error bound.
+    """
+    if bound <= 0:
+        raise ValueError("bound must be positive")
+    predicted = np.asarray(predicted, dtype=np.float64)
+    measured = np.asarray(measured, dtype=np.float64)
+    if predicted.size == 0:
+        return 0.0
+    relative = np.abs(predicted - measured) / np.maximum(np.abs(measured), 1e-9)
+    return float(np.mean(relative <= bound))
+
+
+@dataclass(frozen=True)
+class PredictorMetrics:
+    """Summary metrics of a trained predictor on one dataset."""
+
+    mape: float
+    bound_accuracy_10: float
+    bound_accuracy_20: float
+    spearman: float
+    num_samples: int
+
+
+def _spearman(predicted: np.ndarray, measured: np.ndarray) -> float:
+    """Spearman rank correlation (the search mostly needs correct ordering)."""
+    if predicted.size < 2:
+        return 0.0
+    rank_p = np.argsort(np.argsort(predicted)).astype(np.float64)
+    rank_m = np.argsort(np.argsort(measured)).astype(np.float64)
+    rank_p -= rank_p.mean()
+    rank_m -= rank_m.mean()
+    denom = np.sqrt((rank_p**2).sum() * (rank_m**2).sum())
+    return float((rank_p * rank_m).sum() / denom) if denom > 0 else 0.0
+
+
+def compute_metrics(predicted: np.ndarray, measured: np.ndarray) -> PredictorMetrics:
+    """Compute the full metric set used by the Fig. 8 experiment."""
+    predicted = np.asarray(predicted, dtype=np.float64)
+    measured = np.asarray(measured, dtype=np.float64)
+    return PredictorMetrics(
+        mape=mape(predicted, measured),
+        bound_accuracy_10=error_bound_accuracy(predicted, measured, 0.10),
+        bound_accuracy_20=error_bound_accuracy(predicted, measured, 0.20),
+        spearman=_spearman(predicted, measured),
+        num_samples=int(predicted.size),
+    )

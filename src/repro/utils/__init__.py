@@ -1,0 +1,19 @@
+"""Shared utilities: RNG management, logging, timing and serialization."""
+
+from repro.utils.logging import get_logger
+from repro.utils.random import new_rng, seed_everything, split_rng
+from repro.utils.serialization import load_json, load_npz, save_json, save_npz
+from repro.utils.timer import Timer, VirtualClock
+
+__all__ = [
+    "get_logger",
+    "new_rng",
+    "seed_everything",
+    "split_rng",
+    "load_json",
+    "load_npz",
+    "save_json",
+    "save_npz",
+    "Timer",
+    "VirtualClock",
+]

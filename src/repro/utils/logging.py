@@ -1,0 +1,52 @@
+"""Logging helpers with a single shared configuration."""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger", "set_verbosity"]
+
+_ROOT_NAME = "repro"
+_CONFIGURED = False
+
+
+def _configure_root() -> None:
+    """Attach a stream handler to the package root logger exactly once."""
+    global _CONFIGURED
+    if _CONFIGURED:
+        return
+    root = logging.getLogger(_ROOT_NAME)
+    if not root.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("[%(asctime)s] %(name)s %(levelname)s: %(message)s", "%H:%M:%S")
+        )
+        root.addHandler(handler)
+    root.setLevel(logging.WARNING)
+    _CONFIGURED = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a child logger under the package namespace.
+
+    Args:
+        name: Dotted suffix, e.g. ``"nas.search"``.
+
+    Returns:
+        A :class:`logging.Logger` named ``repro.<name>``.
+    """
+    _configure_root()
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def set_verbosity(level: int | str) -> None:
+    """Set the verbosity of all package loggers.
+
+    Args:
+        level: A ``logging`` level constant or name (e.g. ``"INFO"``).
+    """
+    _configure_root()
+    logging.getLogger(_ROOT_NAME).setLevel(level)

@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic_modelnet import make_synthetic_modelnet
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A tiny train/test dataset pair shared by the slower tests."""
+    return make_synthetic_modelnet(num_classes=4, samples_per_class=5, num_points=24, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_train(tiny_dataset):
+    return tiny_dataset[0]
+
+
+@pytest.fixture(scope="session")
+def tiny_test(tiny_dataset):
+    return tiny_dataset[1]

@@ -1,0 +1,160 @@
+"""Tests for the experiment drivers (every figure/table of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    format_table,
+    frontier_from_table,
+    load_benchmark_dataset,
+    resolve_devices,
+    run_device_comparison,
+    run_fig2,
+    run_fig3,
+    run_fig6,
+    run_fig7,
+    run_fig9b,
+    run_fig10,
+    run_point_sweep,
+    run_table2,
+)
+
+TINY_SCALE = ExperimentScale(num_classes=4, samples_per_class=3, num_points=24, train_epochs=1, batch_size=4)
+
+
+class TestCommon:
+    def test_resolve_devices(self):
+        assert len(resolve_devices()) == 4
+        assert resolve_devices(["gpu"])[0].name == "rtx3080"
+
+    def test_load_dataset(self):
+        train, test = load_benchmark_dataset(TINY_SCALE)
+        assert len(train) == 12 and len(test) == 12
+
+    def test_format_table(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}])
+        assert "a" in text and "0.125" in text
+        assert format_table([]) == "(no rows)"
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentScale(num_classes=1)
+
+
+class TestFig1:
+    def test_point_sweep_shows_oom_on_pi(self):
+        rows = run_point_sweep("raspberry-pi", (512, 1024, 2048))
+        dgcnn = {r.num_points: r for r in rows if r.model == "DGCNN"}
+        assert not dgcnn[1024].out_of_memory
+        assert dgcnn[2048].out_of_memory
+        assert dgcnn[512].latency_ms < dgcnn[1024].latency_ms
+
+    def test_hgnas_always_faster(self):
+        rows = run_point_sweep("raspberry-pi", (1024,))
+        latency = {r.model: r.latency_ms for r in rows}
+        assert latency["HGNAS"] < latency["DGCNN"]
+
+    def test_device_comparison_speedups(self):
+        rows = run_device_comparison()
+        assert len(rows) == 4
+        for row in rows:
+            assert row["speedup"] > 2.0
+            assert 0.0 < row["memory_reduction"] < 1.0
+
+    def test_invalid_points(self):
+        with pytest.raises(ValueError):
+            run_point_sweep("pi", (0,))
+
+
+class TestFig2:
+    def test_reuse_reduces_latency(self):
+        results = run_fig2(TINY_SCALE)
+        by_name = {r.name: r for r in results}
+        assert by_name["rebuild-1"].latency_ms < by_name["rebuild-all (DGCNN)"].latency_ms
+        assert all(0.0 <= r.accuracy <= 1.0 for r in results)
+        assert by_name["rebuild-1"].knn_constructions < by_name["rebuild-all (DGCNN)"].knn_constructions
+
+
+class TestFig3:
+    def test_breakdown_matches_paper_story(self):
+        rows = {r["device"]: r for r in run_fig3()}
+        assert rows["rtx3080"]["dominant_category"] == "sample"
+        assert rows["i7-8700k"]["dominant_category"] == "aggregate"
+        for row in rows.values():
+            total = sum(row[f"{c}_fraction"] for c in ("sample", "aggregate", "combine", "others"))
+            assert total == pytest.approx(1.0)
+            assert row["max_abs_error_vs_paper"] < 0.05
+
+
+class TestFig6AndTable2:
+    @pytest.fixture(scope="class")
+    def table_rows(self):
+        return run_table2(TINY_SCALE, devices=["rtx3080", "raspberry-pi"])
+
+    def test_table_contents(self, table_rows):
+        networks = {row.network for row in table_rows}
+        assert networks == {"DGCNN", "[6] graph-reuse", "[7] simplified", "HGNAS-Acc", "HGNAS-Fast"}
+        assert len(table_rows) == 10
+
+    def test_hgnas_fast_is_fastest(self, table_rows):
+        for device in {row.device for row in table_rows}:
+            rows = {r.network: r for r in table_rows if r.device == device}
+            assert rows["HGNAS-Fast"].speedup_vs_dgcnn > rows["[6] graph-reuse"].speedup_vs_dgcnn
+            assert rows["HGNAS-Fast"].speedup_vs_dgcnn > rows["[7] simplified"].speedup_vs_dgcnn
+            assert rows["HGNAS-Fast"].speedup_vs_dgcnn > 2.0
+            assert rows["DGCNN"].speedup_vs_dgcnn == pytest.approx(1.0)
+
+    def test_memory_reduction_positive(self, table_rows):
+        for row in table_rows:
+            if row.network.startswith("HGNAS"):
+                assert row.memory_reduction_vs_dgcnn > 0.0
+
+    def test_frontier_reshape(self, table_rows):
+        frontier = frontier_from_table(table_rows)
+        assert len(frontier) == 2
+        for points in frontier.values():
+            assert len(points) == 5
+            hgnas_points = [p for p in points if p.is_hgnas]
+            assert len(hgnas_points) == 2
+
+    def test_run_fig6_wrapper(self, table_rows):
+        frontier = run_fig6(TINY_SCALE, devices=["rtx3080"])
+        assert len(frontier) == 1
+
+
+class TestFig7:
+    def test_tradeoff_speedup_direction(self):
+        points = run_fig7(ratios=(0.1, 10.0), scale=TINY_SCALE)
+        assert len(points) == 2
+        # A latency-heavy objective (small alpha:beta) should never yield a
+        # slower design than an accuracy-heavy one.
+        assert points[0].speedup_vs_dgcnn >= points[1].speedup_vs_dgcnn * 0.5
+        for point in points:
+            assert point.latency_ms > 0
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            run_fig7(ratios=(0.0,), scale=TINY_SCALE)
+
+
+class TestFig9b:
+    def test_both_strategies_produce_history(self):
+        runs = run_fig9b(scale=TINY_SCALE)
+        labels = {run.label for run in runs}
+        assert labels == {"multi-stage", "one-stage"}
+        for run in runs:
+            assert len(run.history) > 0
+            assert run.search_time_s > 0
+
+
+class TestFig10:
+    def test_reports_per_device(self):
+        reports = run_fig10()
+        assert len(reports) == 4
+        by_device = {r.device: r for r in reports}
+        # GPU-oriented designs contain at most as many KNN ops as the Pi design.
+        assert by_device["rtx3080"].num_samples <= by_device["raspberry-pi"].num_samples + 1
+        for report in reports:
+            assert "Classifier" in report.rendering
+            assert report.speedup_vs_dgcnn > 1.0

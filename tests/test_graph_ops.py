@@ -1,0 +1,289 @@
+"""Tests for graph operations: edge index, KNN, sampling, scatter, messages."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    add_self_loops,
+    batched_knn_graph,
+    batched_random_graph,
+    build_messages,
+    coalesce,
+    degree,
+    edges_to_dense,
+    farthest_point_sampling,
+    gcn_normalize,
+    global_max_pool,
+    global_mean_pool,
+    global_sum_pool,
+    knn_graph,
+    knn_indices,
+    message_dim,
+    pairwise_sq_dists,
+    radius_graph,
+    random_graph,
+    remove_self_loops,
+    scatter,
+    scatter_max,
+    scatter_mean,
+    scatter_min,
+    scatter_sum,
+    sort_by_target,
+    subsample_points,
+    sum_aggregation_matrix,
+    to_undirected,
+    validate_edge_index,
+)
+from repro.nn import Tensor
+from helpers import finite_difference_grad
+
+
+class TestEdgeIndex:
+    def test_validate_shape(self):
+        with pytest.raises(ValueError):
+            validate_edge_index(np.zeros((3, 4)))
+
+    def test_validate_range(self):
+        with pytest.raises(ValueError):
+            validate_edge_index(np.array([[0, 5], [1, 2]]), num_nodes=3)
+
+    def test_validate_negative(self):
+        with pytest.raises(ValueError):
+            validate_edge_index(np.array([[-1], [0]]))
+
+    def test_coalesce_removes_duplicates(self):
+        ei = np.array([[0, 0, 1], [1, 1, 2]])
+        assert coalesce(ei).shape == (2, 2)
+
+    def test_self_loop_helpers(self):
+        ei = np.array([[0, 1], [1, 1]])
+        with_loops = add_self_loops(ei, 3)
+        assert with_loops.shape[1] == 5
+        without = remove_self_loops(with_loops)
+        assert not np.any(without[0] == without[1])
+
+    def test_to_undirected_symmetric(self):
+        ei = np.array([[0], [1]])
+        und = to_undirected(ei, 2)
+        pairs = {tuple(col) for col in und.T.tolist()}
+        assert (0, 1) in pairs and (1, 0) in pairs
+
+    def test_degree(self):
+        ei = np.array([[0, 1, 2], [1, 1, 0]])
+        np.testing.assert_array_equal(degree(ei, 3, "in"), [1, 2, 0])
+        np.testing.assert_array_equal(degree(ei, 3, "out"), [1, 1, 1])
+        with pytest.raises(ValueError):
+            degree(ei, 3, "both")
+
+    def test_sort_by_target(self):
+        ei = np.array([[5, 4, 3], [2, 0, 1]])
+        assert list(sort_by_target(ei)[1]) == [0, 1, 2]
+
+
+class TestKNN:
+    def test_knn_graph_degrees(self, rng):
+        pts = rng.normal(size=(30, 3))
+        ei = knn_graph(pts, 5)
+        assert ei.shape == (2, 150)
+        np.testing.assert_array_equal(degree(ei, 30, "in"), 5)
+
+    def test_knn_no_self_loops(self, rng):
+        ei = knn_graph(rng.normal(size=(20, 3)), 4)
+        assert not np.any(ei[0] == ei[1])
+
+    def test_knn_neighbours_are_nearest(self, rng):
+        pts = rng.normal(size=(15, 3))
+        idx = knn_indices(pts, 3)
+        dists = pairwise_sq_dists(pts, pts)
+        for i in range(15):
+            others = np.argsort(dists[i])
+            nearest = [j for j in others if j != i][:3]
+            assert set(idx[i]) == set(nearest)
+
+    def test_knn_k_larger_than_cloud(self, rng):
+        ei = knn_graph(rng.normal(size=(4, 3)), 10)
+        assert ei.shape[1] == 4 * 3
+
+    def test_knn_invalid(self, rng):
+        with pytest.raises(ValueError):
+            knn_graph(rng.normal(size=(5, 3)), 0)
+        with pytest.raises(ValueError):
+            knn_graph(np.zeros((0, 3)), 2)
+
+    def test_radius_graph(self, rng):
+        pts = np.array([[0.0, 0, 0], [0.1, 0, 0], [5.0, 0, 0]])
+        ei = radius_graph(pts, radius=1.0)
+        pairs = {tuple(c) for c in ei.T.tolist()}
+        assert (0, 1) in pairs and (1, 0) in pairs
+        assert not any(2 in p for p in pairs)
+
+    def test_radius_graph_max_neighbors(self, rng):
+        pts = rng.normal(size=(20, 3))
+        ei = radius_graph(pts, radius=10.0, max_neighbors=3)
+        assert degree(ei, 20, "in").max() <= 3
+
+    def test_pairwise_dists_nonnegative(self, rng):
+        a = rng.normal(size=(8, 3))
+        d = pairwise_sq_dists(a, a)
+        assert np.all(d >= 0)
+        np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-9)
+
+
+class TestSampling:
+    def test_random_graph_shape(self, rng):
+        ei = random_graph(10, 3, rng)
+        assert ei.shape == (2, 30)
+        assert not np.any(ei[0] == ei[1])
+
+    def test_random_graph_self_allowed(self, rng):
+        ei = random_graph(5, 2, rng, include_self=True)
+        assert ei.shape == (2, 10)
+
+    def test_random_graph_invalid(self, rng):
+        with pytest.raises(ValueError):
+            random_graph(0, 2, rng)
+        with pytest.raises(ValueError):
+            random_graph(5, 0, rng)
+
+    def test_fps_spread(self, rng):
+        cluster_a = rng.normal(size=(20, 3)) * 0.01
+        cluster_b = rng.normal(size=(20, 3)) * 0.01 + 10.0
+        pts = np.concatenate([cluster_a, cluster_b])
+        chosen = farthest_point_sampling(pts, 2, rng)
+        assert (chosen[0] < 20) != (chosen[1] < 20)
+
+    def test_fps_bounds(self, rng):
+        with pytest.raises(ValueError):
+            farthest_point_sampling(rng.normal(size=(5, 3)), 6, rng)
+
+    def test_subsample_points(self, rng):
+        pts = rng.normal(size=(10, 3))
+        assert subsample_points(pts, 4, rng).shape == (4, 3)
+        assert subsample_points(pts, 15, rng).shape == (15, 3)
+
+
+class TestScatter:
+    def test_scatter_sum_values(self):
+        src = Tensor(np.array([[1.0], [2.0], [3.0]]))
+        out = scatter_sum(src, np.array([0, 0, 1]), 2)
+        np.testing.assert_allclose(out.data, [[3.0], [3.0]])
+
+    def test_scatter_mean_empty_segment(self):
+        src = Tensor(np.array([[4.0], [2.0]]))
+        out = scatter_mean(src, np.array([0, 0]), 3)
+        np.testing.assert_allclose(out.data, [[3.0], [0.0], [0.0]])
+
+    def test_scatter_max_min(self):
+        src = Tensor(np.array([[1.0, -5.0], [3.0, 2.0], [0.0, 0.0]]))
+        index = np.array([0, 0, 1])
+        np.testing.assert_allclose(scatter_max(src, index, 2).data, [[3.0, 2.0], [0.0, 0.0]])
+        np.testing.assert_allclose(scatter_min(src, index, 2).data, [[1.0, -5.0], [0.0, 0.0]])
+
+    def test_scatter_dispatch_and_errors(self):
+        src = Tensor(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            scatter(src, np.array([0, 1]), 2, reduce="median")
+        with pytest.raises(ValueError):
+            scatter_sum(src, np.array([0]), 2)
+        with pytest.raises(ValueError):
+            scatter_sum(src, np.array([0, 5]), 2)
+
+    @pytest.mark.parametrize("reduce", ["sum", "mean", "max", "min"])
+    def test_scatter_gradients(self, reduce, rng):
+        src0 = rng.normal(size=(6, 3))
+        index = np.array([0, 1, 1, 2, 2, 2])
+
+        def numeric(x):
+            return float(scatter(Tensor(x), index, 3, reduce).data.sum())
+
+        src = Tensor(src0.copy(), requires_grad=True)
+        scatter(src, index, 3, reduce).sum().backward()
+        expected = finite_difference_grad(numeric, src0.copy())
+        np.testing.assert_allclose(src.grad, expected, rtol=1e-5, atol=1e-7)
+
+
+class TestMessages:
+    @pytest.mark.parametrize(
+        "message_type,expected_dim",
+        [
+            ("source_pos", 4),
+            ("target_pos", 4),
+            ("rel_pos", 4),
+            ("distance", 1),
+            ("source_rel", 8),
+            ("target_rel", 8),
+            ("full", 13),
+        ],
+    )
+    def test_message_dims(self, message_type, expected_dim, rng):
+        assert message_dim(message_type, 4) == expected_dim
+        features = Tensor(rng.normal(size=(6, 4)))
+        ei = np.array([[0, 1, 2], [3, 4, 5]])
+        assert build_messages(features, ei, message_type).shape == (3, expected_dim)
+
+    def test_message_values_target_rel(self, rng):
+        features = Tensor(rng.normal(size=(4, 2)))
+        ei = np.array([[2], [0]])
+        msg = build_messages(features, ei, "target_rel").data
+        np.testing.assert_allclose(msg[0, :2], features.data[0])
+        np.testing.assert_allclose(msg[0, 2:], features.data[2] - features.data[0])
+
+    def test_message_unknown_type(self, rng):
+        with pytest.raises(ValueError):
+            build_messages(Tensor(rng.normal(size=(3, 2))), np.array([[0], [1]]), "bogus")
+        with pytest.raises(ValueError):
+            message_dim("bogus", 3)
+
+    def test_message_gradients(self, rng):
+        x0 = rng.normal(size=(5, 3))
+        ei = np.array([[0, 1, 4], [1, 2, 3]])
+
+        def numeric(x):
+            return float(build_messages(Tensor(x), ei, "full").data.sum())
+
+        x = Tensor(x0.copy(), requires_grad=True)
+        build_messages(x, ei, "full").sum().backward()
+        np.testing.assert_allclose(x.grad, finite_difference_grad(numeric, x0.copy()), rtol=1e-5, atol=1e-7)
+
+
+class TestAdjacency:
+    def test_edges_to_dense(self):
+        ei = np.array([[0, 1], [1, 2]])
+        adj = edges_to_dense(ei, 3)
+        assert adj[1, 0] == 1.0 and adj[2, 1] == 1.0 and adj.sum() == 2.0
+
+    def test_gcn_normalize_rows(self):
+        adj = edges_to_dense(np.array([[0, 1, 2], [1, 2, 0]]), 3, symmetric=True)
+        norm = gcn_normalize(adj)
+        assert norm.shape == (3, 3)
+        assert np.all(norm >= 0)
+        with pytest.raises(ValueError):
+            gcn_normalize(np.ones((2, 3)))
+
+    def test_sum_aggregation_matrix(self):
+        adj = np.zeros((2, 2))
+        np.testing.assert_allclose(sum_aggregation_matrix(adj), np.eye(2))
+
+
+class TestBatching:
+    def test_batched_knn_no_cross_edges(self, rng):
+        pts = rng.normal(size=(20, 3))
+        batch = np.repeat([0, 1], 10)
+        ei = batched_knn_graph(pts, batch, 3)
+        assert np.all(batch[ei[0]] == batch[ei[1]])
+
+    def test_batched_random_no_cross_edges(self, rng):
+        batch = np.repeat([0, 1, 2], 5)
+        ei = batched_random_graph(batch, 2, rng)
+        assert np.all(batch[ei[0]] == batch[ei[1]])
+
+    def test_batch_vector_must_be_sorted(self, rng):
+        with pytest.raises(ValueError):
+            batched_knn_graph(rng.normal(size=(4, 3)), np.array([1, 0, 0, 1]), 2)
+
+    def test_global_pools(self):
+        x = Tensor(np.array([[1.0], [3.0], [10.0], [20.0]]))
+        batch = np.array([0, 0, 1, 1])
+        np.testing.assert_allclose(global_max_pool(x, batch, 2).data, [[3.0], [20.0]])
+        np.testing.assert_allclose(global_mean_pool(x, batch, 2).data, [[2.0], [15.0]])
+        np.testing.assert_allclose(global_sum_pool(x, batch, 2).data, [[4.0], [30.0]])

@@ -1,0 +1,171 @@
+"""Tests for the GNN models: EdgeConv, DGCNN, baselines, dense GCN, head."""
+
+import numpy as np
+import pytest
+
+from repro.data import collate
+from repro.models import (
+    DGCNN,
+    ClassificationHead,
+    DGCNNConfig,
+    DenseGCN,
+    DenseGCNLayer,
+    EdgeConv,
+    GraphReuseDGCNN,
+    SimplifiedDGCNN,
+    SimplifiedDGCNNConfig,
+    model_size_mb,
+)
+from repro.nn import Tensor, cross_entropy
+from repro.nn.optim import Adam
+
+
+def _batch(dataset, count=4):
+    return collate([dataset[i] for i in range(count)])
+
+
+class TestEdgeConv:
+    def test_output_shape(self, rng):
+        conv = EdgeConv(3, 8, rng=rng)
+        x = Tensor(rng.normal(size=(10, 3)))
+        ei = np.array([[1, 2, 3, 4], [0, 0, 1, 1]])
+        assert conv(x, ei).shape == (10, 8)
+
+    def test_input_dim_check(self, rng):
+        conv = EdgeConv(3, 8, rng=rng)
+        with pytest.raises(ValueError):
+            conv(Tensor(rng.normal(size=(5, 4))), np.array([[0], [1]]))
+
+    def test_invalid_aggregator_or_message(self):
+        with pytest.raises(ValueError):
+            EdgeConv(3, 8, aggregator="median")
+        with pytest.raises(ValueError):
+            EdgeConv(3, 8, message_type="bogus")
+
+    def test_gradients_flow_to_mlp(self, rng):
+        conv = EdgeConv(3, 4, rng=rng)
+        x = Tensor(rng.normal(size=(6, 3)))
+        ei = np.array([[0, 1, 2], [3, 4, 5]])
+        conv(x, ei).sum().backward()
+        assert all(p.grad is not None for p in conv.parameters())
+
+    def test_repr(self, rng):
+        assert "EdgeConv" in repr(EdgeConv(3, 4, rng=rng))
+
+
+class TestClassificationHead:
+    def test_logit_shape(self, rng):
+        head = ClassificationHead(8, num_classes=5, rng=rng)
+        x = Tensor(rng.normal(size=(12, 8)))
+        batch = np.repeat([0, 1, 2], 4)
+        assert head(x, batch, 3).shape == (3, 5)
+
+    def test_invalid_classes(self):
+        with pytest.raises(ValueError):
+            ClassificationHead(8, num_classes=1)
+
+    def test_model_size(self, rng):
+        head = ClassificationHead(8, num_classes=5, rng=rng)
+        assert model_size_mb(head) == pytest.approx(head.num_parameters() * 4 / 2**20)
+
+
+class TestDGCNN:
+    def test_forward_shape(self, tiny_train):
+        model = DGCNN(DGCNNConfig(num_classes=4, k=4, layer_dims=(8, 8), embed_dim=16, classifier_hidden=(16,)))
+        logits = model(_batch(tiny_train))
+        assert logits.shape == (4, 4)
+
+    def test_training_reduces_loss(self, tiny_train, rng):
+        model = DGCNN(DGCNNConfig(num_classes=4, k=4, layer_dims=(8, 8), embed_dim=16, classifier_hidden=(16,)))
+        batch = _batch(tiny_train, 8)
+        optimizer = Adam(model.parameters(), lr=0.01)
+        first_loss = None
+        for _ in range(8):
+            loss = cross_entropy(model(batch), batch.labels)
+            if first_loss is None:
+                first_loss = loss.item()
+            model.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < first_loss
+
+    def test_graph_reuse_validation(self):
+        with pytest.raises(ValueError):
+            DGCNNConfig(layer_dims=(8, 8), graph_reuse={0: 1})
+        with pytest.raises(ValueError):
+            DGCNNConfig(layer_dims=(8, 8), graph_reuse={5: 0})
+
+    def test_knn_construction_count(self):
+        base = DGCNNConfig(num_classes=4, k=4, layer_dims=(8, 8, 8))
+        assert DGCNN(base).count_knn_constructions() == 3
+        reuse = DGCNNConfig(num_classes=4, k=4, layer_dims=(8, 8, 8), graph_reuse={1: 0, 2: 0})
+        assert DGCNN(reuse).count_knn_constructions() == 1
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            DGCNNConfig(k=0)
+        with pytest.raises(ValueError):
+            DGCNNConfig(layer_dims=())
+
+
+class TestBaselines:
+    def test_graph_reuse_builds_graph_once(self):
+        model = GraphReuseDGCNN(DGCNNConfig(num_classes=4, k=4, layer_dims=(8, 8, 8)))
+        assert model.count_knn_constructions() == 1
+        assert model.config.dynamic is False
+
+    def test_graph_reuse_forward(self, tiny_train):
+        model = GraphReuseDGCNN(DGCNNConfig(num_classes=4, k=4, layer_dims=(8, 8), embed_dim=16, classifier_hidden=(16,)))
+        assert model(_batch(tiny_train)).shape == (4, 4)
+
+    def test_simplified_forward_and_counts(self, tiny_train):
+        model = SimplifiedDGCNN(
+            SimplifiedDGCNNConfig(num_classes=4, k=4, full_layer_dims=(8,), simple_layer_dims=(8,), embed_dim=16, classifier_hidden=(16,))
+        )
+        assert model(_batch(tiny_train)).shape == (4, 4)
+        assert model.count_knn_constructions() == 1
+        assert model.num_layers == 2
+
+    def test_simplified_invalid_config(self):
+        with pytest.raises(ValueError):
+            SimplifiedDGCNNConfig(full_layer_dims=())
+        with pytest.raises(ValueError):
+            SimplifiedDGCNNConfig(k=0)
+
+    def test_simplified_is_smaller_than_dgcnn(self):
+        dgcnn = DGCNN(DGCNNConfig(num_classes=10, k=4, layer_dims=(16, 16, 32)))
+        simplified = SimplifiedDGCNN(
+            SimplifiedDGCNNConfig(num_classes=10, k=4, full_layer_dims=(16, 16), simple_layer_dims=(32,))
+        )
+        assert simplified.num_parameters() < dgcnn.num_parameters()
+
+
+class TestDenseGCN:
+    def test_layer_shapes(self, rng):
+        layer = DenseGCNLayer(4, 6, rng=rng)
+        adj = np.eye(5)
+        out = layer(Tensor(rng.normal(size=(5, 4))), adj)
+        assert out.shape == (5, 6)
+
+    def test_adjacency_shape_check(self, rng):
+        layer = DenseGCNLayer(4, 6, rng=rng)
+        with pytest.raises(ValueError):
+            layer(Tensor(rng.normal(size=(5, 4))), np.eye(4))
+
+    def test_stack(self, rng):
+        gcn = DenseGCN((4, 8, 2), rng=rng)
+        out = gcn(Tensor(rng.normal(size=(6, 4))), np.eye(6))
+        assert out.shape == (6, 2)
+
+    def test_invalid_configs(self, rng):
+        with pytest.raises(ValueError):
+            DenseGCN((4,))
+        with pytest.raises(ValueError):
+            DenseGCNLayer(3, 4, activation="gelu")
+
+    def test_aggregation_effect(self, rng):
+        layer = DenseGCNLayer(2, 2, activation="none", rng=rng)
+        x = Tensor(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        identity_out = layer(x, np.eye(2)).data
+        sum_out = layer(x, np.ones((2, 2))).data
+        assert not np.allclose(identity_out, sum_out)

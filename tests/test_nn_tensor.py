@@ -1,0 +1,176 @@
+"""Tests for the autograd engine: forward values and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, as_tensor, concatenate, maximum, no_grad, stack, where
+
+from helpers import finite_difference_grad
+
+
+def assert_grad_matches(build_fn, shape, rng, rtol=1e-5, atol=1e-7):
+    """Compare autograd gradient against central finite differences."""
+    x0 = rng.normal(size=shape)
+
+    def numeric(x):
+        return float(build_fn(Tensor(x, requires_grad=False)).data.sum())
+
+    x = Tensor(x0.copy(), requires_grad=True)
+    out = build_fn(x)
+    out.sum().backward()
+    expected = finite_difference_grad(numeric, x0.copy())
+    np.testing.assert_allclose(x.grad, expected, rtol=rtol, atol=atol)
+
+
+class TestForward:
+    def test_add_broadcast(self):
+        a = Tensor(np.ones((2, 3)))
+        b = Tensor(np.arange(3))
+        np.testing.assert_allclose((a + b).data, 1 + np.arange(3) * np.ones((2, 3)))
+
+    def test_scalar_ops(self):
+        t = Tensor([1.0, 2.0])
+        np.testing.assert_allclose((2 * t + 1).data, [3.0, 5.0])
+        np.testing.assert_allclose((1 - t).data, [0.0, -1.0])
+        np.testing.assert_allclose((t / 2).data, [0.5, 1.0])
+        np.testing.assert_allclose((2 / t).data, [2.0, 1.0])
+
+    def test_matmul(self):
+        a = np.random.default_rng(0).normal(size=(3, 4))
+        b = np.random.default_rng(1).normal(size=(4, 2))
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_reductions(self):
+        data = np.arange(6.0).reshape(2, 3)
+        t = Tensor(data)
+        assert t.sum().item() == pytest.approx(15.0)
+        np.testing.assert_allclose(t.mean(axis=0).data, data.mean(axis=0))
+        np.testing.assert_allclose(t.max(axis=1).data, data.max(axis=1))
+        np.testing.assert_allclose(t.min(axis=1).data, data.min(axis=1))
+
+    def test_reshape_transpose(self):
+        t = Tensor(np.arange(6.0))
+        assert t.reshape(2, 3).shape == (2, 3)
+        assert t.reshape(2, 3).T.shape == (3, 2)
+
+    def test_getitem_fancy(self):
+        t = Tensor(np.arange(10.0))
+        np.testing.assert_allclose(t[np.array([1, 3, 5])].data, [1.0, 3.0, 5.0])
+
+    def test_elementwise_functions(self):
+        t = Tensor([-1.0, 0.0, 2.0])
+        np.testing.assert_allclose(t.relu().data, [0.0, 0.0, 2.0])
+        np.testing.assert_allclose(t.abs().data, [1.0, 0.0, 2.0])
+        np.testing.assert_allclose(t.leaky_relu(0.1).data, [-0.1, 0.0, 2.0])
+        np.testing.assert_allclose(t.clip(-0.5, 1.0).data, [-0.5, 0.0, 1.0])
+
+    def test_concatenate_and_stack(self):
+        a, b = Tensor(np.ones((2, 2))), Tensor(np.zeros((2, 2)))
+        assert concatenate([a, b], axis=1).shape == (2, 4)
+        assert stack([a, b], axis=0).shape == (2, 2, 2)
+
+    def test_where_and_maximum(self):
+        a, b = Tensor([1.0, 5.0]), Tensor([4.0, 2.0])
+        np.testing.assert_allclose(maximum(a, b).data, [4.0, 5.0])
+        np.testing.assert_allclose(where(np.array([True, False]), a, b).data, [1.0, 2.0])
+
+    def test_repr_and_item(self):
+        t = Tensor([[3.0]])
+        assert "shape" in repr(t)
+        assert t.item() == pytest.approx(3.0)
+
+    def test_detach_and_copy(self):
+        t = Tensor([1.0], requires_grad=True)
+        assert not t.detach().requires_grad
+        copy = t.copy()
+        copy.data[0] = 9.0
+        assert t.data[0] == 1.0
+
+
+class TestBackward:
+    def test_add_mul_chain(self, rng):
+        assert_grad_matches(lambda x: (x * 3.0 + 1.0) * x, (4,), rng)
+
+    def test_broadcast_grad(self, rng):
+        b0 = rng.normal(size=(3,))
+
+        def build(x):
+            return x * Tensor(b0)
+
+        assert_grad_matches(build, (2, 3), rng)
+
+    def test_matmul_grad(self, rng):
+        w = rng.normal(size=(4, 2))
+        assert_grad_matches(lambda x: x @ Tensor(w), (3, 4), rng)
+
+    def test_division_grad(self, rng):
+        assert_grad_matches(lambda x: x / (x * x + 2.0), (5,), rng)
+
+    def test_pow_sqrt_grad(self, rng):
+        assert_grad_matches(lambda x: (x * x + 1.0).sqrt(), (4,), rng)
+
+    def test_exp_log_grad(self, rng):
+        assert_grad_matches(lambda x: (x.exp() + 1.0).log(), (4,), rng)
+
+    def test_reduction_grads(self, rng):
+        assert_grad_matches(lambda x: x.mean(axis=0), (3, 4), rng)
+        assert_grad_matches(lambda x: x.sum(axis=1, keepdims=True) * 2.0, (3, 4), rng)
+
+    def test_max_grad(self, rng):
+        assert_grad_matches(lambda x: x.max(axis=1), (3, 5), rng)
+
+    def test_sigmoid_tanh_grad(self, rng):
+        assert_grad_matches(lambda x: x.sigmoid() + x.tanh(), (6,), rng)
+
+    def test_getitem_grad(self, rng):
+        idx = np.array([0, 2, 2])
+
+        def build(x):
+            return x[idx] * 2.0
+
+        assert_grad_matches(build, (4, 3), rng)
+
+    def test_concatenate_grad(self, rng):
+        def build(x):
+            return concatenate([x, x * 2.0], axis=1)
+
+        assert_grad_matches(build, (2, 3), rng)
+
+    def test_transpose_reshape_grad(self, rng):
+        assert_grad_matches(lambda x: x.T.reshape(6) * 3.0, (2, 3), rng)
+
+    def test_gradient_accumulates_across_uses(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * 3.0 + x * 4.0
+        y.backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_backward_requires_scalar_or_grad(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2.0).backward()
+        (x * 2.0).backward(np.ones(3))
+        np.testing.assert_allclose(x.grad, [2.0, 2.0, 2.0])
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+
+class TestGradMode:
+    def test_no_grad_disables_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_no_grad_restores(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            pass
+        assert (x * 2.0).requires_grad
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+        assert isinstance(as_tensor([1.0, 2.0]), Tensor)
