@@ -1,3 +1,11 @@
+"""Legacy installation shim.
+
+All project metadata lives in ``pyproject.toml``; this file only enables
+``python setup.py develop`` as an editable-install fallback for offline
+environments whose toolchain lacks the ``wheel`` package (PEP 517 editable
+builds need it).  Everywhere else, use ``pip install -e .``.
+"""
+
 from setuptools import setup
 
 setup()

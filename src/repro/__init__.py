@@ -17,12 +17,48 @@ DAC 2023) on top of a pure-numpy substrate:
 * :mod:`repro.nas` -- the fine-grained design space, one-shot supernet and
   multi-stage hierarchical evolutionary search (the paper's contribution).
 * :mod:`repro.predictor` -- the GNN-based hardware performance predictor.
+* :mod:`repro.serving` -- the batched, cached inference-serving engine that
+  deploys searched architectures behind a request API.
 * :mod:`repro.experiments` -- drivers that regenerate every table and figure
   of the paper's evaluation section.
 
-The most convenient entry points live in :mod:`repro.api`.
+The high-level helpers of :mod:`repro.api` are re-exported lazily from the
+package root, so ``import repro; repro.search_architecture(...)`` works
+without paying the import cost of the subsystems you do not use.
 """
+
+from importlib import import_module
 
 from repro.version import __version__
 
-__all__ = ["__version__"]
+#: Lazily re-exported high-level names -> providing module.
+_LAZY_EXPORTS = {
+    "profile_architecture": "repro.api",
+    "measure_latency": "repro.api",
+    "train_latency_predictor": "repro.api",
+    "search_architecture": "repro.api",
+    "build_model": "repro.api",
+    "deploy_architecture": "repro.api",
+    "serve": "repro.api",
+    "ServeReport": "repro.api",
+    "PredictorBundle": "repro.api",
+    "InferenceEngine": "repro.serving",
+    "EngineConfig": "repro.serving",
+    "ModelRegistry": "repro.serving",
+    "DeployedModel": "repro.serving",
+}
+
+__all__ = ["__version__", *sorted(_LAZY_EXPORTS)]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute '{name}'")
+    value = getattr(import_module(module_name), name)
+    globals()[name] = value  # cache so subsequent lookups skip __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -10,6 +10,10 @@ These helpers wire together the subsystems for the most common workflows:
   device (paper Alg. 1) and return the best architecture with its metrics.
 * :func:`build_model` — instantiate a searched architecture as a trainable
   stand-alone classifier.
+* :func:`deploy_architecture` / :func:`serve` — register a searched
+  architecture in a :class:`~repro.serving.registry.ModelRegistry` and
+  serve classification requests through the batched, cached
+  :class:`~repro.serving.engine.InferenceEngine`.
 
 Every function accepts device names (``"rtx3080"``, ``"jetson-tx2"``,
 ``"raspberry-pi"``, ``"i7-8700k"`` or aliases such as ``"gpu"``/``"pi"``).
@@ -34,6 +38,8 @@ from repro.predictor.evaluator import PredictorLatencyEvaluator
 from repro.predictor.metrics import PredictorMetrics
 from repro.predictor.model import LatencyPredictor, PredictorConfig
 from repro.predictor.train import PredictorTrainingConfig, evaluate_predictor, train_predictor
+from repro.serving.engine import EngineConfig, InferenceEngine, InferenceResult
+from repro.serving.registry import DeployedModel, ModelRegistry
 
 __all__ = [
     "profile_architecture",
@@ -42,6 +48,9 @@ __all__ = [
     "PredictorBundle",
     "search_architecture",
     "build_model",
+    "deploy_architecture",
+    "ServeReport",
+    "serve",
 ]
 
 
@@ -166,3 +175,109 @@ def build_model(
 ) -> DerivedModel:
     """Instantiate a searched architecture as a trainable stand-alone model."""
     return DerivedModel(architecture, num_classes=num_classes, k=k, embed_dim=embed_dim, seed=seed)
+
+
+def deploy_architecture(
+    architecture: Architecture,
+    device: str | DeviceSpec,
+    num_classes: int,
+    name: str | None = None,
+    registry: ModelRegistry | None = None,
+    k: int = 10,
+    embed_dim: int = 64,
+    seed: int = 0,
+    slo_ms: float | None = None,
+    train_dataset: InMemoryDataset | None = None,
+    train_epochs: int = 5,
+    train_batch_size: int = 8,
+) -> DeployedModel:
+    """Instantiate a searched architecture and register it for serving.
+
+    Args:
+        architecture: Searched genotype to deploy.
+        device: Target device name or spec (drives SLO admission control).
+        num_classes: Classifier output classes.
+        name: Registry key; defaults to the architecture's name (or
+            ``"deployed"`` when unnamed).
+        registry: Registry to add the entry to; a fresh one is created when
+            omitted.
+        k: Neighbourhood size at inference time.
+        embed_dim: Classifier-head embedding width.
+        seed: Weight-initialisation / training seed.
+        slo_ms: Optional per-request latency budget on ``device``.
+        train_dataset: When given, the deployed model is trained on it
+            before registration (otherwise it serves with initial weights).
+        train_epochs: Training epochs when ``train_dataset`` is given.
+        train_batch_size: Training batch size when ``train_dataset`` is given.
+
+    Returns:
+        The registered :class:`~repro.serving.registry.DeployedModel`.
+        Pass a ``registry`` to keep multiple deployments together;
+        :func:`serve` accepts the returned entry directly either way.
+    """
+    from repro.nas.trainer import train_classifier
+
+    spec = device if isinstance(device, DeviceSpec) else get_device(device)
+    model = DerivedModel(architecture, num_classes=num_classes, k=k, embed_dim=embed_dim, seed=seed)
+    if train_dataset is not None:
+        train_classifier(
+            model,
+            train_dataset,
+            epochs=train_epochs,
+            batch_size=train_batch_size,
+            rng=np.random.default_rng(seed),
+        )
+    registry = registry if registry is not None else ModelRegistry()
+    return registry.register(
+        name=name or architecture.name or "deployed",
+        architecture=architecture,
+        device=spec,
+        num_classes=num_classes,
+        k=k,
+        embed_dim=embed_dim,
+        seed=seed,
+        slo_ms=slo_ms,
+        model=model,
+    )
+
+
+@dataclass
+class ServeReport:
+    """Results of a served request stream plus the engine that produced them."""
+
+    results: list[InferenceResult]
+    telemetry: dict
+    engine: InferenceEngine
+
+
+def serve(
+    deployed: DeployedModel,
+    clouds,
+    config: EngineConfig | None = None,
+    registry: ModelRegistry | None = None,
+) -> ServeReport:
+    """Serve a stream of point clouds through a deployed model.
+
+    A convenience wrapper that builds a single-entry registry (unless one is
+    supplied) and an :class:`~repro.serving.engine.InferenceEngine`, submits
+    every cloud with micro-batching, and returns results plus telemetry.
+    Keep the engine from the returned report to serve follow-up traffic with
+    warm caches.
+    """
+    if registry is None:
+        registry = ModelRegistry()
+    if deployed.name not in registry:
+        registry.register(
+            name=deployed.name,
+            architecture=deployed.architecture,
+            device=deployed.device,
+            num_classes=deployed.num_classes,
+            k=deployed.k,
+            embed_dim=deployed.embed_dim,
+            seed=deployed.seed,
+            slo_ms=deployed.slo_ms,
+            model=deployed.model,
+        )
+    engine = InferenceEngine(registry, config)
+    results = engine.submit_many(deployed.name, clouds)
+    return ServeReport(results=results, telemetry=engine.report(), engine=engine)

@@ -7,6 +7,8 @@ from repro.graph.batching import (
     global_max_pool,
     global_mean_pool,
     global_sum_pool,
+    pack_clouds,
+    unpack_clouds,
 )
 from repro.graph.edge_index import (
     add_self_loops,
@@ -35,6 +37,8 @@ __all__ = [
     "global_max_pool",
     "global_mean_pool",
     "global_sum_pool",
+    "pack_clouds",
+    "unpack_clouds",
     "edges_to_dense",
     "gcn_normalize",
     "sum_aggregation_matrix",

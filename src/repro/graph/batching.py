@@ -8,6 +8,8 @@ cloud separately; both are handled here.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.graph.knn import knn_graph
@@ -21,6 +23,8 @@ __all__ = [
     "global_max_pool",
     "global_mean_pool",
     "global_sum_pool",
+    "pack_clouds",
+    "unpack_clouds",
 ]
 
 
@@ -31,6 +35,62 @@ def _check_batch(num_nodes: int, batch: np.ndarray) -> np.ndarray:
     if batch.size and np.any(np.diff(batch) < 0):
         raise ValueError("batch vector must be sorted (clouds stored contiguously)")
     return batch
+
+
+def pack_clouds(clouds: Sequence[np.ndarray], dim: int = 3) -> tuple[np.ndarray, np.ndarray]:
+    """Pack ragged point clouds into a stacked node set plus batch vector.
+
+    The inverse of :func:`unpack_clouds`; the serving micro-batcher uses the
+    pair to assemble and disassemble dynamic batches of differently sized
+    clouds.
+
+    Args:
+        clouds: Sequence of arrays, each of shape ``(N_i, D)`` with a shared
+            feature dimension ``D`` and ``N_i >= 1``.
+        dim: Feature dimension used for the empty result when ``clouds`` is
+            empty (there is no array to infer it from).
+
+    Returns:
+        ``(points, batch)`` where ``points`` has shape ``(sum N_i, D)`` and
+        ``batch`` maps every row to its cloud index, sorted ascending.
+    """
+    arrays = [np.asarray(cloud, dtype=np.float64) for cloud in clouds]
+    if not arrays:
+        return np.zeros((0, dim), dtype=np.float64), np.zeros((0,), dtype=np.int64)
+    for index, cloud in enumerate(arrays):
+        if cloud.ndim != 2 or cloud.shape[0] == 0:
+            raise ValueError(
+                f"cloud {index} must be a non-empty 2-D array, got shape {cloud.shape}"
+            )
+        if cloud.shape[1] != arrays[0].shape[1]:
+            raise ValueError(
+                f"cloud {index} has feature dim {cloud.shape[1]}, expected {arrays[0].shape[1]}"
+            )
+    points = np.concatenate(arrays, axis=0)
+    batch = np.concatenate(
+        [np.full(cloud.shape[0], index, dtype=np.int64) for index, cloud in enumerate(arrays)]
+    )
+    return points, batch
+
+
+def unpack_clouds(
+    points: np.ndarray, batch: np.ndarray, num_graphs: int | None = None
+) -> list[np.ndarray]:
+    """Split a stacked node set back into its per-cloud arrays.
+
+    Args:
+        points: Stacked rows of shape ``(N_total, D)``.
+        batch: Cloud index per row, sorted ascending.
+        num_graphs: Number of clouds; inferred from ``batch`` if omitted.
+
+    Returns:
+        A list of ``num_graphs`` arrays; round-trips with :func:`pack_clouds`.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    batch = _check_batch(points.shape[0], batch)
+    if num_graphs is None:
+        num_graphs = int(batch[-1]) + 1 if batch.size else 0
+    return [points[np.flatnonzero(batch == graph_id)].copy() for graph_id in range(num_graphs)]
 
 
 def batched_knn_graph(points: np.ndarray, batch: np.ndarray, k: int) -> np.ndarray:

@@ -8,6 +8,8 @@ trained from scratch for deployment or accuracy evaluation.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from repro.data.dataset import Batch
@@ -20,7 +22,12 @@ from repro.nn import functional as F
 from repro.nn.layers import Linear, Module
 from repro.nn.tensor import Tensor, concatenate
 
-__all__ = ["DerivedModel"]
+__all__ = ["DerivedModel", "GraphBuilder"]
+
+#: Pluggable graph construction: ``(method, features, batch, k) -> edge_index``
+#: where ``method`` is ``"knn"`` or ``"random"``.  The serving engine installs
+#: a caching, deterministic builder here; ``None`` keeps the default behaviour.
+GraphBuilder = Callable[[str, np.ndarray, np.ndarray, int], np.ndarray]
 
 
 class DerivedModel(Module):
@@ -57,6 +64,14 @@ class DerivedModel(Module):
             rng=rng,
         )
         self._graph_rng = np.random.default_rng(seed + 1)
+        self.graph_builder: GraphBuilder | None = None
+
+    def _build_graph(self, method: str, features: np.ndarray, batch_vector: np.ndarray) -> np.ndarray:
+        if self.graph_builder is not None:
+            return self.graph_builder(method, features, batch_vector, self.k)
+        if method == "knn":
+            return batched_knn_graph(features, batch_vector, self.k)
+        return batched_random_graph(batch_vector, self.k, self._graph_rng)
 
     def forward(self, batch: Batch) -> Tensor:
         """Classify a batch of point clouds with the derived architecture."""
@@ -65,13 +80,10 @@ class DerivedModel(Module):
         edge_index: np.ndarray | None = None
         for index, op in enumerate(self.ops):
             if op.kind == "sample":
-                if op.sample_method == "knn":
-                    edge_index = batched_knn_graph(x.data, batch.batch, self.k)
-                else:
-                    edge_index = batched_random_graph(batch.batch, self.k, self._graph_rng)
+                edge_index = self._build_graph(op.sample_method, x.data, batch.batch)
             elif op.kind == "aggregate":
                 if edge_index is None:
-                    edge_index = batched_knn_graph(x.data, batch.batch, self.k)
+                    edge_index = self._build_graph("knn", x.data, batch.batch)
                 messages = build_messages(x, edge_index, op.message_type)
                 x = scatter(messages, edge_index[1], x.shape[0], op.aggregator)
             elif op.kind == "combine":

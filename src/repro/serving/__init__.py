@@ -1,0 +1,44 @@
+"""Inference serving for searched architectures.
+
+Turns HGNAS search results into a servable workload — the deployment
+scenario the paper optimises for.  The subsystem layers:
+
+* :mod:`repro.serving.registry` — named, persistable deployments
+  (architecture + model + target device + SLO).
+* :mod:`repro.serving.batcher` — dynamic micro-batching of single-cloud
+  requests.
+* :mod:`repro.serving.cache` — bounded LRU caches for KNN edge indices
+  (the dominant cost, per the paper) and full inference results.
+* :mod:`repro.serving.engine` — the synchronous engine with cost-model
+  driven admission control tying it all together.
+* :mod:`repro.serving.telemetry` — rolling latency percentiles,
+  throughput, queue depth and cache hit rates per model.
+* :mod:`repro.serving.cli` — the ``repro-serve`` demo entry point.
+
+High-level helpers live in :func:`repro.api.deploy_architecture` and
+:func:`repro.api.serve`.
+"""
+
+from repro.serving.batcher import BatcherConfig, MicroBatcher, QueuedRequest
+from repro.serving.cache import CacheStats, CachingGraphBuilder, LRUCache, cloud_fingerprint
+from repro.serving.engine import AdmissionError, EngineConfig, InferenceEngine, InferenceResult
+from repro.serving.registry import DeployedModel, ModelRegistry
+from repro.serving.telemetry import ModelTelemetry, TelemetryStore
+
+__all__ = [
+    "BatcherConfig",
+    "MicroBatcher",
+    "QueuedRequest",
+    "CacheStats",
+    "CachingGraphBuilder",
+    "LRUCache",
+    "cloud_fingerprint",
+    "AdmissionError",
+    "EngineConfig",
+    "InferenceEngine",
+    "InferenceResult",
+    "DeployedModel",
+    "ModelRegistry",
+    "ModelTelemetry",
+    "TelemetryStore",
+]

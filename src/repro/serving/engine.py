@@ -1,0 +1,379 @@
+"""The inference engine: registry + micro-batcher + caches + telemetry.
+
+:class:`InferenceEngine` serves point-cloud classification requests
+through deployed searched architectures with a synchronous
+``submit()``/``submit_many()`` API:
+
+1. **Admission control** — each request's latency on the entry's target
+   device is estimated with the analytical cost model
+   (:func:`repro.hardware.latency.estimate_latency`); requests whose
+   estimate exceeds the entry's SLO budget, or that arrive while the
+   queue is at capacity, are rejected up front instead of queued.
+2. **Result cache** — a bounded LRU keyed by the content hash of the
+   (quantised) input cloud returns logits for repeated inputs without
+   running the model.
+3. **Micro-batching** — admitted misses accumulate in the
+   :class:`~repro.serving.batcher.MicroBatcher` and execute as packed
+   ragged batches (:func:`repro.graph.batching.pack_clouds`).
+4. **Edge cache** — during execution a
+   :class:`~repro.serving.cache.CachingGraphBuilder` reuses per-cloud KNN
+   edge indices, the dominant cost HGNAS identifies.  The builder is
+   deterministic (random sampling is seeded from the cloud fingerprint),
+   so results are bit-identical with caching on or off.
+
+The worker loop is explicit: ``step()`` executes one due batch,
+``run_worker()`` drains the queue; ``submit``/``submit_many`` drive it
+internally so callers get a simple blocking API.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataset import Batch
+from repro.graph.batching import pack_clouds
+from repro.hardware.latency import estimate_latency
+from repro.nn.tensor import no_grad
+from repro.serving.batcher import BatcherConfig, MicroBatcher, QueuedRequest
+from repro.serving.cache import CachingGraphBuilder, LRUCache, cloud_fingerprint
+from repro.serving.registry import DeployedModel, ModelRegistry
+from repro.serving.telemetry import TelemetryStore
+
+__all__ = ["AdmissionError", "EngineConfig", "InferenceResult", "InferenceEngine"]
+
+
+class AdmissionError(RuntimeError):
+    """Raised when admission control rejects a request."""
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Serving-engine policy knobs."""
+
+    max_batch_size: int = 8
+    max_wait_ms: float = 2.0
+    result_cache_capacity: int = 512
+    edge_cache_capacity: int = 512
+    admission_control: bool = True
+    max_queue_depth: int = 1024
+    quantize_decimals: int = 6
+    telemetry_window: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth <= 0:
+            raise ValueError(f"max_queue_depth must be positive, got {self.max_queue_depth}")
+        if self.result_cache_capacity < 0 or self.edge_cache_capacity < 0:
+            raise ValueError("cache capacities must be >= 0")
+
+
+@dataclass
+class InferenceResult:
+    """Outcome of one served request."""
+
+    request_id: int
+    model: str
+    label: int
+    logits: np.ndarray
+    probabilities: np.ndarray
+    latency_ms: float
+    queue_ms: float
+    batch_size: int
+    from_cache: bool
+    estimated_device_ms: float
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max()
+    exp = np.exp(shifted)
+    return exp / exp.sum()
+
+
+@dataclass
+class _PendingSlot:
+    """Bookkeeping for a request between submission and execution."""
+
+    request: QueuedRequest
+    result: InferenceResult | None = None
+    extras: dict = field(default_factory=dict)
+
+
+class InferenceEngine:
+    """Batched, cached, SLO-aware serving over a :class:`ModelRegistry`."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        config: EngineConfig | None = None,
+        clock=time.monotonic,
+    ):
+        self.registry = registry
+        self.config = config or EngineConfig()
+        self.clock = clock
+        self.batcher = MicroBatcher(
+            BatcherConfig(self.config.max_batch_size, self.config.max_wait_ms), clock=clock
+        )
+        self.result_cache = LRUCache(self.config.result_cache_capacity)
+        self.edge_cache = LRUCache(self.config.edge_cache_capacity)
+        self.telemetry = TelemetryStore(self.config.telemetry_window)
+        self._graph_builder = CachingGraphBuilder(
+            cache=self.edge_cache if self.config.edge_cache_capacity > 0 else None,
+            decimals=self.config.quantize_decimals,
+        )
+        # Deterministic builder even with caching disabled, so cached and
+        # uncached engines produce bit-identical logits.
+        self._uncached_builder = CachingGraphBuilder(cache=None, decimals=self.config.quantize_decimals)
+        self._pending: dict[int, _PendingSlot] = {}
+        self._latency_estimates: dict[tuple[str, int], float] = {}
+        self._next_request_id = 0
+
+    # ------------------------------------------------------------------ #
+    # Admission control
+    # ------------------------------------------------------------------ #
+    def estimate_request_ms(self, entry: DeployedModel, num_points: int) -> float:
+        """Cost-model latency of one ``num_points`` request on the entry's device."""
+        key = (entry.name, num_points)
+        if key not in self._latency_estimates:
+            workload = entry.architecture.to_workload(
+                num_points=num_points, k=entry.k, num_classes=entry.num_classes
+            )
+            self._latency_estimates[key] = estimate_latency(workload, entry.device).total_ms
+        return self._latency_estimates[key]
+
+    def _admit(self, entry: DeployedModel, points: np.ndarray) -> float:
+        estimated = self.estimate_request_ms(entry, points.shape[0])
+        if not self.config.admission_control:
+            return estimated
+        if entry.slo_ms is not None and estimated > entry.slo_ms:
+            self.telemetry.model(entry.name).record_rejection()
+            raise AdmissionError(
+                f"request rejected: estimated {estimated:.2f} ms on {entry.device.name} "
+                f"exceeds the {entry.slo_ms:.2f} ms SLO of model '{entry.name}'"
+            )
+        if self.batcher.queue_depth >= self.config.max_queue_depth:
+            self.telemetry.model(entry.name).record_rejection()
+            raise AdmissionError(
+                f"request rejected: queue depth {self.batcher.queue_depth} at capacity "
+                f"({self.config.max_queue_depth})"
+            )
+        return estimated
+
+    # ------------------------------------------------------------------ #
+    # Submission API
+    # ------------------------------------------------------------------ #
+    def _validate_points(self, entry: DeployedModel, points: np.ndarray) -> np.ndarray:
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ValueError(f"a request must be a non-empty (N, D) cloud, got shape {points.shape}")
+        expected_dim = entry.architecture.input_dim
+        if points.shape[1] != expected_dim:
+            raise ValueError(
+                f"model '{entry.name}' expects {expected_dim}-D point features, "
+                f"got a cloud of shape {points.shape}"
+            )
+        if not np.isfinite(points).all():
+            raise ValueError("a request cloud must not contain NaN or infinite coordinates")
+        return points
+
+    def _enqueue(self, model: str, points: np.ndarray) -> int:
+        """Admit one request: serve from the result cache or queue it."""
+        entry = self.registry.get(model)
+        points = self._validate_points(entry, points)
+        estimated = self._admit(entry, points)
+        # The generation distinguishes redeployments of the same name, so a
+        # replace=True re-registration can never serve stale cached logits.
+        fingerprint = cloud_fingerprint(
+            points, self.config.quantize_decimals, extra=(model, entry.generation)
+        )
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        request = QueuedRequest(
+            request_id=request_id,
+            model=model,
+            points=points,
+            enqueued_at=self.clock(),
+            fingerprint=fingerprint,
+            estimated_device_ms=estimated,
+        )
+        slot = _PendingSlot(request=request)
+        self._pending[request_id] = slot
+        cached_logits = self.result_cache.get(fingerprint)
+        if cached_logits is not None:
+            logits = np.array(cached_logits, copy=True)
+            slot.result = InferenceResult(
+                request_id=request_id,
+                model=model,
+                label=int(np.argmax(logits)),
+                logits=logits,
+                probabilities=_softmax(logits),
+                latency_ms=0.0,
+                queue_ms=0.0,
+                batch_size=0,
+                from_cache=True,
+                estimated_device_ms=estimated,
+            )
+            # Telemetry is recorded at collection time (see _collect): if the
+            # surrounding submit_many is later cancelled, this request was
+            # never delivered and must not count as served.
+            slot.extras["admission_hit"] = True
+        else:
+            self.batcher.enqueue(request)
+            self.telemetry.observe_queue_depth(self.batcher.queue_depth)
+        return request_id
+
+    def submit(self, model: str, points: np.ndarray) -> InferenceResult:
+        """Serve one point cloud synchronously.
+
+        Raises:
+            AdmissionError: When the request would blow the model's SLO
+                budget or the queue is full.
+        """
+        request_id = self._enqueue(model, points)
+        self.run_worker()
+        return self._collect(request_id)
+
+    def submit_many(self, model: str, clouds) -> list[InferenceResult]:
+        """Serve a stream of clouds, micro-batching admitted requests.
+
+        All requests are admitted (or rejected) up front, the worker loop
+        drains the queue, and results come back in submission order.
+        Admission is all-or-nothing: if any request is rejected (or
+        invalid), the call's already-admitted requests are cancelled before
+        the error propagates, leaving the engine queue unchanged.
+        """
+        request_ids: list[int] = []
+        try:
+            for cloud in clouds:
+                request_ids.append(self._enqueue(model, cloud))
+            self.run_worker()
+            return [self._collect(request_id) for request_id in request_ids]
+        except Exception:
+            # Covers admission failures *and* execution failures: no request
+            # of this call may linger in the queue or the pending map.
+            self._cancel(request_ids)
+            raise
+
+    def _cancel(self, request_ids: list[int]) -> None:
+        """Forget queued requests of a failed submission."""
+        ids = set(request_ids)
+        for request_id in ids:
+            self._pending.pop(request_id, None)
+        self.batcher.discard(ids)
+
+    def _collect(self, request_id: int) -> InferenceResult:
+        slot = self._pending.pop(request_id)
+        if slot.result is None:  # pragma: no cover - defensive
+            raise RuntimeError(f"request {request_id} was never executed")
+        if slot.extras.get("admission_hit"):
+            self.telemetry.model(slot.result.model).record_request(
+                latency_ms=0.0, queue_ms=0.0, from_cache=True
+            )
+        return slot.result
+
+    # ------------------------------------------------------------------ #
+    # Worker loop
+    # ------------------------------------------------------------------ #
+    def step(self, force: bool = True) -> int:
+        """Execute the next due batch; returns the number of requests served."""
+        batch = self.batcher.pop_ready(force=force)
+        if batch is None:
+            return 0
+        try:
+            self._execute_batch(batch)
+        except Exception:
+            # A poisoned batch must not leave orphaned bookkeeping behind.
+            for request in batch:
+                self._pending.pop(request.request_id, None)
+            raise
+        return len(batch)
+
+    def run_worker(self, force: bool = True) -> int:
+        """Drain the queue; returns the total number of requests served."""
+        total = 0
+        while self.batcher.has_pending():
+            served = self.step(force=force)
+            if served == 0:
+                break
+            total += served
+        return total
+
+    def _execute_batch(self, requests: list[QueuedRequest]) -> None:
+        entry = self.registry.get(requests[0].model)
+        telemetry = self.telemetry.model(entry.name)
+        started = self.clock()
+        # In-batch deduplication: identical clouds inside one batch compute
+        # once and fan out.  The result cache is only consulted at admission
+        # time — never here — so the composition of computed batches does not
+        # depend on cache state, which keeps cached and uncached engines
+        # bit-identical (BLAS kernels are not bitwise stable across batch
+        # shapes).
+        compute: list[QueuedRequest] = []
+        row_of: dict[str, int] = {}
+        for request in requests:
+            if request.fingerprint not in row_of:
+                row_of[request.fingerprint] = len(compute)
+                compute.append(request)
+        points, batch_vector = pack_clouds([request.points for request in compute])
+        batch = Batch(
+            points=points,
+            batch=batch_vector,
+            labels=np.zeros(len(compute), dtype=np.int64),
+            num_graphs=len(compute),
+        )
+        entry.model.eval()
+        entry.model.graph_builder = (
+            self._graph_builder if self.config.edge_cache_capacity > 0 else self._uncached_builder
+        )
+        try:
+            with telemetry.busy, no_grad():
+                logits = entry.model(batch).data
+        finally:
+            entry.model.graph_builder = None
+        telemetry.record_batch(len(compute))
+        for fingerprint, row in row_of.items():
+            # First write wins: a cached reply always replays the bits of the
+            # input's first computation, so cache hits are reproducible even
+            # when later batches recompute the same input in a different
+            # (bitwise-unstable) batch composition.
+            if fingerprint not in self.result_cache:
+                self.result_cache.put(fingerprint, np.array(logits[row], copy=True))
+        finished = self.clock()
+        wall_ms = (finished - started) * 1e3
+        for request in requests:
+            row = row_of[request.fingerprint]
+            row_logits = np.array(logits[row], copy=True)
+            # Requests deduplicated onto another request's row were served
+            # without dedicated compute; report them as cache-served.
+            from_cache = request is not compute[row]
+            queue_ms = (started - request.enqueued_at) * 1e3
+            result = InferenceResult(
+                request_id=request.request_id,
+                model=entry.name,
+                label=int(np.argmax(row_logits)),
+                logits=row_logits,
+                probabilities=_softmax(row_logits),
+                latency_ms=queue_ms + wall_ms,
+                queue_ms=queue_ms,
+                batch_size=len(compute),
+                from_cache=from_cache,
+                estimated_device_ms=request.estimated_device_ms,
+            )
+            self._pending[request.request_id].result = result
+            telemetry.record_request(latency_ms=result.latency_ms, queue_ms=queue_ms, from_cache=from_cache)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def cache_stats(self):
+        """Result- and edge-cache counter snapshots."""
+        return {"result": self.result_cache.stats(), "edge": self.edge_cache.stats()}
+
+    def report(self) -> dict[str, object]:
+        """Full telemetry report including cache statistics."""
+        return self.telemetry.report(self.cache_stats())
+
+    def format_report(self) -> str:
+        """Human-readable telemetry report."""
+        return self.telemetry.format_report(self.cache_stats())

@@ -1,0 +1,150 @@
+"""Per-model serving telemetry.
+
+Tracks, per deployed model, a rolling window of request latencies
+(queueing + batch execution), batch sizes, throughput derived from the
+cumulative busy time of a :class:`repro.utils.timer.Timer`, admission
+rejections and the peak queue depth.  The engine injects its cache
+counters so one report covers the whole serving stack.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Mapping
+
+import numpy as np
+
+from repro.serving.cache import CacheStats
+from repro.utils.timer import Timer
+
+__all__ = ["ModelTelemetry", "TelemetryStore"]
+
+_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+class ModelTelemetry:
+    """Rolling statistics for one deployed model."""
+
+    def __init__(self, window: int = 1024):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self.latencies_ms: Deque[float] = deque(maxlen=window)
+        self.queue_ms: Deque[float] = deque(maxlen=window)
+        self.batch_sizes: Deque[int] = deque(maxlen=window)
+        self.served = 0
+        self.cache_hits = 0
+        self.rejected = 0
+        self.batches = 0
+        self.busy = Timer()
+
+    def record_request(self, latency_ms: float, queue_ms: float, from_cache: bool) -> None:
+        """Record one completed request."""
+        self.latencies_ms.append(float(latency_ms))
+        self.queue_ms.append(float(queue_ms))
+        self.served += 1
+        if from_cache:
+            self.cache_hits += 1
+
+    def record_batch(self, size: int) -> None:
+        """Record one executed batch."""
+        self.batch_sizes.append(int(size))
+        self.batches += 1
+
+    def record_rejection(self) -> None:
+        """Record one request refused by admission control."""
+        self.rejected += 1
+
+    def latency_percentiles(self) -> dict[str, float]:
+        """Rolling p50/p95/p99 request latency in milliseconds."""
+        if not self.latencies_ms:
+            return {f"p{int(p)}": 0.0 for p in _PERCENTILES}
+        values = np.asarray(self.latencies_ms, dtype=np.float64)
+        return {f"p{int(p)}": float(np.percentile(values, p)) for p in _PERCENTILES}
+
+    @property
+    def throughput_rps(self) -> float:
+        """Requests served per second of engine busy time."""
+        return self.served / self.busy.elapsed if self.busy.elapsed > 0 else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        sizes = self.batch_sizes
+        return float(np.mean(sizes)) if sizes else 0.0
+
+    def report(self) -> dict[str, object]:
+        """Snapshot of every statistic as a JSON-compatible dict."""
+        return {
+            "served": self.served,
+            "rejected": self.rejected,
+            "batches": self.batches,
+            "mean_batch_size": round(self.mean_batch_size, 3),
+            "throughput_rps": round(self.throughput_rps, 2),
+            "busy_s": round(self.busy.elapsed, 4),
+            "result_cache_hits": self.cache_hits,
+            "mean_queue_ms": round(float(np.mean(self.queue_ms)) if self.queue_ms else 0.0, 3),
+            "latency_ms": {k: round(v, 3) for k, v in self.latency_percentiles().items()},
+        }
+
+
+class TelemetryStore:
+    """Telemetry for every model served by one engine."""
+
+    def __init__(self, window: int = 1024):
+        self.window = window
+        self._models: dict[str, ModelTelemetry] = {}
+        self.peak_queue_depth = 0
+
+    def model(self, name: str) -> ModelTelemetry:
+        """Return (creating on first use) the telemetry of one model."""
+        if name not in self._models:
+            self._models[name] = ModelTelemetry(self.window)
+        return self._models[name]
+
+    def observe_queue_depth(self, depth: int) -> None:
+        """Track the high-water mark of the request queue."""
+        self.peak_queue_depth = max(self.peak_queue_depth, int(depth))
+
+    def report(self, cache_stats: Mapping[str, CacheStats] | None = None) -> dict[str, object]:
+        """Aggregate report over all models plus engine-level gauges."""
+        report: dict[str, object] = {
+            "models": {name: telemetry.report() for name, telemetry in self._models.items()},
+            "peak_queue_depth": self.peak_queue_depth,
+        }
+        if cache_stats:
+            report["caches"] = {
+                name: {
+                    "hits": stats.hits,
+                    "misses": stats.misses,
+                    "evictions": stats.evictions,
+                    "size": stats.size,
+                    "capacity": stats.capacity,
+                    "hit_rate": round(stats.hit_rate, 4),
+                }
+                for name, stats in cache_stats.items()
+            }
+        return report
+
+    def format_report(self, cache_stats: Mapping[str, CacheStats] | None = None) -> str:
+        """Human-readable multi-line report."""
+        report = self.report(cache_stats)
+        lines = ["== serving telemetry =="]
+        for name, stats in report["models"].items():
+            latency = stats["latency_ms"]
+            lines.append(
+                f"{name}: served={stats['served']} rejected={stats['rejected']} "
+                f"batches={stats['batches']} (mean size {stats['mean_batch_size']:.1f}) "
+                f"throughput={stats['throughput_rps']:.1f} req/s"
+            )
+            lines.append(
+                f"    latency p50={latency['p50']:.2f}ms p95={latency['p95']:.2f}ms "
+                f"p99={latency['p99']:.2f}ms  mean queue={stats['mean_queue_ms']:.2f}ms"
+            )
+        lines.append(f"peak queue depth: {report['peak_queue_depth']}")
+        for name, stats in report.get("caches", {}).items():
+            lines.append(
+                f"{name} cache: hit rate {stats['hit_rate']:.1%} "
+                f"({stats['hits']} hits / {stats['misses']} misses, "
+                f"{stats['size']}/{stats['capacity']} entries)"
+            )
+        return "\n".join(lines)

@@ -19,6 +19,7 @@ from repro.graph import (
     knn_graph,
     knn_indices,
     message_dim,
+    pack_clouds,
     pairwise_sq_dists,
     radius_graph,
     random_graph,
@@ -32,6 +33,7 @@ from repro.graph import (
     subsample_points,
     sum_aggregation_matrix,
     to_undirected,
+    unpack_clouds,
     validate_edge_index,
 )
 from repro.nn import Tensor
@@ -287,3 +289,50 @@ class TestBatching:
         np.testing.assert_allclose(global_max_pool(x, batch, 2).data, [[3.0], [20.0]])
         np.testing.assert_allclose(global_mean_pool(x, batch, 2).data, [[2.0], [15.0]])
         np.testing.assert_allclose(global_sum_pool(x, batch, 2).data, [[4.0], [30.0]])
+
+
+class TestPackUnpack:
+    def test_empty_batch(self):
+        points, batch = pack_clouds([])
+        assert points.shape == (0, 3)
+        assert batch.shape == (0,)
+        assert unpack_clouds(points, batch) == []
+
+    def test_batch_of_one(self, rng):
+        cloud = rng.normal(size=(7, 3))
+        points, batch = pack_clouds([cloud])
+        assert points.shape == (7, 3)
+        np.testing.assert_array_equal(batch, np.zeros(7, dtype=np.int64))
+        (restored,) = unpack_clouds(points, batch)
+        np.testing.assert_array_equal(restored, cloud)
+
+    def test_ragged_round_trip_identity(self, rng):
+        clouds = [rng.normal(size=(n, 3)) for n in (5, 1, 12, 3)]
+        points, batch = pack_clouds(clouds)
+        assert points.shape == (21, 3)
+        np.testing.assert_array_equal(batch, np.repeat([0, 1, 2, 3], [5, 1, 12, 3]))
+        restored = unpack_clouds(points, batch)
+        assert len(restored) == len(clouds)
+        for original, back in zip(clouds, restored):
+            np.testing.assert_array_equal(back, original)
+
+    def test_pack_validates_inputs(self, rng):
+        with pytest.raises(ValueError):
+            pack_clouds([rng.normal(size=(4, 3)), rng.normal(size=(4, 2))])  # mixed dims
+        with pytest.raises(ValueError):
+            pack_clouds([np.zeros((0, 3))])  # empty cloud
+        with pytest.raises(ValueError):
+            pack_clouds([np.zeros(5)])  # not 2-D
+
+    def test_unpack_respects_num_graphs(self, rng):
+        clouds = [rng.normal(size=(4, 3)), rng.normal(size=(2, 3))]
+        points, batch = pack_clouds(clouds)
+        restored = unpack_clouds(points, batch, num_graphs=3)
+        assert len(restored) == 3
+        assert restored[2].shape == (0, 3)
+
+    def test_pack_feeds_batched_knn(self, rng):
+        clouds = [rng.normal(size=(6, 3)), rng.normal(size=(9, 3))]
+        points, batch = pack_clouds(clouds)
+        edge_index = batched_knn_graph(points, batch, 3)
+        assert np.all(batch[edge_index[0]] == batch[edge_index[1]])

@@ -1,0 +1,446 @@
+"""Tests for the inference-serving subsystem (repro.serving)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.hardware.device import get_device
+from repro.nas.presets import device_fast_architecture, tx2_fast_architecture
+from repro.serving import (
+    AdmissionError,
+    BatcherConfig,
+    CachingGraphBuilder,
+    EngineConfig,
+    InferenceEngine,
+    LRUCache,
+    MicroBatcher,
+    ModelRegistry,
+    QueuedRequest,
+    cloud_fingerprint,
+)
+from repro.serving.telemetry import ModelTelemetry
+
+
+def _make_registry(name="model", device="raspberry-pi", num_classes=6, k=6, slo_ms=None):
+    registry = ModelRegistry()
+    registry.register(
+        name,
+        device_fast_architecture(device),
+        get_device(device),
+        num_classes=num_classes,
+        k=k,
+        slo_ms=slo_ms,
+    )
+    return registry
+
+
+def _clouds(rng, count, num_points=20):
+    return [rng.standard_normal((num_points, 3)) for _ in range(count)]
+
+
+class TestLRUCache:
+    def test_put_get_and_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh 'a'; 'b' becomes the eviction candidate
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.stats().evictions == 1
+
+    def test_zero_capacity_disables_storage(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_clear_keeps_counters(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().hits == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+
+class TestCloudFingerprint:
+    def test_stable_under_sub_precision_jitter(self, rng):
+        points = rng.standard_normal((16, 3))
+        jittered = points + rng.uniform(-1e-9, 1e-9, points.shape)
+        assert cloud_fingerprint(points, decimals=6) == cloud_fingerprint(jittered, decimals=6)
+
+    def test_sensitive_to_real_differences(self, rng):
+        points = rng.standard_normal((16, 3))
+        assert cloud_fingerprint(points) != cloud_fingerprint(points + 0.01)
+        assert cloud_fingerprint(points) != cloud_fingerprint(points[:-1])
+
+    def test_extra_context_changes_key(self, rng):
+        points = rng.standard_normal((16, 3))
+        assert cloud_fingerprint(points, extra=("knn", 8)) != cloud_fingerprint(points, extra=("knn", 12))
+
+
+class TestCachingGraphBuilder:
+    def test_matches_uncached_and_counts_hits(self, rng):
+        from repro.graph.batching import pack_clouds
+
+        clouds = _clouds(rng, 3, num_points=12)
+        points, batch = pack_clouds(clouds)
+        cache = LRUCache(16)
+        cached_builder = CachingGraphBuilder(cache)
+        plain_builder = CachingGraphBuilder(None)
+        first = cached_builder("knn", points, batch, 4)
+        again = cached_builder("knn", points, batch, 4)
+        plain = plain_builder("knn", points, batch, 4)
+        assert np.array_equal(first, again)
+        assert np.array_equal(first, plain)
+        assert cache.stats().hits == 3  # second pass hits all three clouds
+
+    def test_random_sampling_is_deterministic_per_cloud(self, rng):
+        from repro.graph.batching import pack_clouds
+
+        clouds = _clouds(rng, 2, num_points=10)
+        points, batch = pack_clouds(clouds)
+        builder = CachingGraphBuilder(None)
+        assert np.array_equal(builder("random", points, batch, 3), builder("random", points, batch, 3))
+
+    def test_unknown_method_rejected(self, rng):
+        builder = CachingGraphBuilder(None)
+        with pytest.raises(ValueError):
+            builder("fps", rng.standard_normal((5, 3)), np.zeros(5, dtype=np.int64), 2)
+
+
+class TestMicroBatcher:
+    def _request(self, request_id, model="m", at=0.0):
+        return QueuedRequest(request_id=request_id, model=model, points=np.zeros((4, 3)), enqueued_at=at)
+
+    def test_releases_full_batch(self):
+        now = [0.0]
+        batcher = MicroBatcher(BatcherConfig(max_batch_size=2, max_wait_ms=1000.0), clock=lambda: now[0])
+        batcher.enqueue(self._request(0))
+        assert batcher.pop_ready() is None  # not full, not timed out
+        batcher.enqueue(self._request(1))
+        batch = batcher.pop_ready()
+        assert [r.request_id for r in batch] == [0, 1]
+        assert not batcher.has_pending()
+
+    def test_releases_on_timeout(self):
+        now = [0.0]
+        batcher = MicroBatcher(BatcherConfig(max_batch_size=8, max_wait_ms=5.0), clock=lambda: now[0])
+        batcher.enqueue(self._request(0))
+        assert batcher.pop_ready() is None
+        now[0] = 0.006  # 6 ms later
+        batch = batcher.pop_ready()
+        assert [r.request_id for r in batch] == [0]
+
+    def test_force_flush_and_fifo_order(self):
+        batcher = MicroBatcher(BatcherConfig(max_batch_size=2, max_wait_ms=1000.0), clock=lambda: 0.0)
+        for i in range(5):
+            batcher.enqueue(self._request(i))
+        batches = []
+        while batcher.has_pending():
+            batches.append([r.request_id for r in batcher.pop_ready(force=True)])
+        assert batches == [[0, 1], [2, 3], [4]]
+
+    def test_oldest_model_served_first(self):
+        now = [0.0]
+        batcher = MicroBatcher(BatcherConfig(max_batch_size=4, max_wait_ms=0.0), clock=lambda: now[0])
+        batcher.enqueue(self._request(0, model="a", at=0.0))
+        batcher.enqueue(self._request(1, model="b", at=-1.0))  # older head
+        batch = batcher.pop_ready()
+        assert batch[0].model == "b"
+        assert batcher.depth_for("a") == 1
+
+    def test_discard_removes_requests(self):
+        batcher = MicroBatcher(BatcherConfig(max_batch_size=4, max_wait_ms=1000.0), clock=lambda: 0.0)
+        for i in range(4):
+            batcher.enqueue(self._request(i))
+        assert batcher.discard({1, 3}) == 2
+        assert [r.request_id for r in batcher.pop_ready(force=True)] == [0, 2]
+        assert not batcher.has_pending()
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            BatcherConfig(max_batch_size=0)
+        with pytest.raises(ValueError):
+            BatcherConfig(max_wait_ms=-1.0)
+
+
+class TestModelRegistry:
+    def test_register_get_list_evict(self):
+        registry = _make_registry("pi-fast")
+        assert registry.list() == ["pi-fast"]
+        assert "pi-fast" in registry and len(registry) == 1
+        entry = registry.get("pi-fast")
+        assert entry.device.name == "raspberry-pi"
+        evicted = registry.evict("pi-fast")
+        assert evicted is entry
+        assert len(registry) == 0
+        with pytest.raises(KeyError):
+            registry.get("pi-fast")
+
+    def test_duplicate_name_requires_replace(self):
+        registry = _make_registry("m")
+        with pytest.raises(ValueError):
+            registry.register("m", tx2_fast_architecture(), get_device("tx2"), num_classes=4)
+        registry.register("m", tx2_fast_architecture(), get_device("tx2"), num_classes=4, replace=True)
+        assert registry.get("m").device.name == "jetson-tx2"
+
+    def test_invalid_names_and_classes(self):
+        registry = ModelRegistry()
+        with pytest.raises(ValueError):
+            registry.register("bad name!", tx2_fast_architecture(), get_device("tx2"), num_classes=4)
+        with pytest.raises(ValueError):
+            registry.register("ok", tx2_fast_architecture(), get_device("tx2"), num_classes=1)
+
+    def test_save_load_round_trip(self, rng, tmp_path):
+        registry = _make_registry("served", device="jetson-tx2", num_classes=5, k=5, slo_ms=500.0)
+        registry.save(tmp_path / "reg")
+        restored = ModelRegistry.load(tmp_path / "reg")
+        assert restored.list() == ["served"]
+        original = registry.get("served")
+        loaded = restored.get("served")
+        assert loaded.slo_ms == original.slo_ms
+        assert loaded.device == original.device
+        assert loaded.architecture.key() == original.architecture.key()
+        # Same weights -> same predictions through the engine.
+        clouds = _clouds(rng, 3)
+        first = InferenceEngine(registry).submit_many("served", clouds)
+        second = InferenceEngine(restored).submit_many("served", clouds)
+        for a, b in zip(first, second):
+            assert np.array_equal(a.logits, b.logits)
+
+
+class TestInferenceEngine:
+    def test_submit_single(self, rng):
+        engine = InferenceEngine(_make_registry())
+        result = engine.submit("model", rng.standard_normal((16, 3)))
+        assert 0 <= result.label < 6
+        assert result.logits.shape == (6,)
+        assert result.probabilities.shape == (6,)
+        assert np.isclose(result.probabilities.sum(), 1.0)
+        assert result.estimated_device_ms > 0
+
+    def test_submit_many_matches_sequential_labels(self, rng):
+        clouds = _clouds(rng, 7)
+        batched = InferenceEngine(_make_registry(), EngineConfig(max_batch_size=3))
+        sequential = InferenceEngine(_make_registry(), EngineConfig(max_batch_size=1))
+        batched_results = batched.submit_many("model", clouds)
+        sequential_results = [sequential.submit("model", cloud) for cloud in clouds]
+        assert [r.label for r in batched_results] == [r.label for r in sequential_results]
+        assert [r.request_id for r in batched_results] == list(range(len(clouds)))
+
+    def test_cached_and_uncached_bit_identical(self, rng):
+        clouds = _clouds(rng, 6)
+        stream = clouds + [clouds[0], clouds[2]]
+        cached = InferenceEngine(_make_registry(), EngineConfig(max_batch_size=4))
+        uncached = InferenceEngine(
+            _make_registry(),
+            EngineConfig(max_batch_size=4, result_cache_capacity=0, edge_cache_capacity=0),
+        )
+        cached_results = cached.submit_many("model", stream)
+        uncached_results = uncached.submit_many("model", stream)
+        for a, b in zip(cached_results, uncached_results):
+            assert np.array_equal(a.logits, b.logits)
+
+    def test_repeated_inputs_hit_result_cache(self, rng):
+        engine = InferenceEngine(_make_registry(), EngineConfig(max_batch_size=2))
+        cloud = rng.standard_normal((16, 3))
+        first = engine.submit("model", cloud)
+        second = engine.submit("model", cloud)
+        assert not first.from_cache
+        assert second.from_cache
+        assert np.array_equal(first.logits, second.logits)
+        assert engine.result_cache.stats().hits >= 1
+        # Sub-precision jitter maps onto the same cache entry.
+        third = engine.submit("model", cloud + 1e-10)
+        assert third.from_cache
+
+    def test_edge_cache_reuses_knn_across_batches(self, rng):
+        engine = InferenceEngine(
+            _make_registry(),
+            EngineConfig(max_batch_size=1, result_cache_capacity=0, edge_cache_capacity=64),
+        )
+        cloud = rng.standard_normal((16, 3))
+        engine.submit("model", cloud)
+        misses_after_first = engine.edge_cache.stats().misses
+        engine.submit("model", cloud)  # result cache disabled -> recompute, edges cached
+        stats = engine.edge_cache.stats()
+        assert stats.hits >= 1
+        assert stats.misses == misses_after_first
+
+    def test_slo_admission_rejects(self, rng):
+        registry = _make_registry(slo_ms=1e-6)
+        engine = InferenceEngine(registry)
+        with pytest.raises(AdmissionError):
+            engine.submit("model", rng.standard_normal((64, 3)))
+        assert engine.telemetry.model("model").rejected == 1
+
+    def test_queue_capacity_rejects(self, rng):
+        engine = InferenceEngine(_make_registry(), EngineConfig(max_queue_depth=2))
+        with pytest.raises(AdmissionError):
+            engine.submit_many("model", _clouds(rng, 4))
+
+    def test_admission_control_can_be_disabled(self, rng):
+        registry = _make_registry(slo_ms=1e-6)
+        engine = InferenceEngine(registry, EngineConfig(admission_control=False))
+        result = engine.submit("model", rng.standard_normal((16, 3)))
+        assert result.logits.shape == (6,)
+
+    def test_unknown_model_and_bad_input(self, rng):
+        engine = InferenceEngine(_make_registry())
+        with pytest.raises(KeyError):
+            engine.submit("nope", rng.standard_normal((8, 3)))
+        with pytest.raises(ValueError):
+            engine.submit("model", np.zeros((0, 3)))
+        with pytest.raises(ValueError):
+            engine.submit("model", np.full((8, 3), np.nan))
+
+    def test_wrong_feature_dim_rejected_upfront(self, rng):
+        engine = InferenceEngine(_make_registry())
+        with pytest.raises(ValueError, match="3-D point features"):
+            engine.submit("model", rng.standard_normal((12, 2)))
+        assert engine.batcher.queue_depth == 0
+
+    def test_execution_failure_leaves_engine_clean(self, rng, monkeypatch):
+        engine = InferenceEngine(_make_registry(), EngineConfig(max_batch_size=2))
+        entry = engine.registry.get("model")
+        calls = {"n": 0}
+        original_forward = type(entry.model).forward
+
+        def flaky_forward(self, batch):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("simulated kernel failure")
+            return original_forward(self, batch)
+
+        monkeypatch.setattr(type(entry.model), "forward", flaky_forward)
+        with pytest.raises(RuntimeError, match="simulated kernel failure"):
+            engine.submit_many("model", _clouds(rng, 4))  # two batches; second dies
+        assert engine.batcher.queue_depth == 0
+        assert engine._pending == {}
+
+    def test_replace_does_not_serve_stale_cache(self, rng):
+        engine = InferenceEngine(_make_registry())
+        registry = engine.registry
+        cloud = rng.standard_normal((16, 3))
+        before = engine.submit("model", cloud)
+        old_entry = registry.get("model")
+        registry.register(
+            "model",
+            old_entry.architecture,
+            old_entry.device,
+            num_classes=old_entry.num_classes,
+            k=old_entry.k,
+            seed=99,  # different weights
+            replace=True,
+        )
+        after = engine.submit("model", cloud)
+        assert not after.from_cache
+        assert not np.array_equal(before.logits, after.logits)
+
+    def test_cancelled_admission_hits_not_counted_as_served(self, rng):
+        registry = _make_registry(device="jetson-tx2", slo_ms=15.0)
+        engine = InferenceEngine(registry)
+        cloud = rng.standard_normal((16, 3))
+        engine.submit("model", cloud)
+        assert engine.telemetry.model("model").served == 1
+        with pytest.raises(AdmissionError):
+            # The repeat would be an admission-time cache hit, but the second
+            # request fails admission and cancels the whole call.
+            engine.submit_many("model", [cloud, rng.standard_normal((4096, 3))])
+        assert engine.telemetry.model("model").served == 1
+
+    def test_rejected_submit_many_leaves_engine_clean(self, rng):
+        registry = _make_registry(device="jetson-tx2", slo_ms=15.0)
+        engine = InferenceEngine(registry, EngineConfig(max_batch_size=4))
+        small = [rng.standard_normal((16, 3)) for _ in range(3)]
+        stream = small + [rng.standard_normal((4096, 3))]  # last one blows the SLO
+        with pytest.raises(AdmissionError):
+            engine.submit_many("model", stream)
+        # The failed call must not leave queued requests or pending slots.
+        assert engine.batcher.queue_depth == 0
+        assert engine._pending == {}
+        result = engine.submit("model", small[0])
+        assert result.batch_size == 1  # no stale requests joined the batch
+
+    def test_telemetry_report_structure(self, rng):
+        engine = InferenceEngine(_make_registry(), EngineConfig(max_batch_size=4))
+        engine.submit_many("model", _clouds(rng, 5))
+        report = engine.report()
+        stats = report["models"]["model"]
+        assert stats["served"] == 5
+        latency = stats["latency_ms"]
+        assert latency["p50"] <= latency["p95"] <= latency["p99"]
+        assert report["peak_queue_depth"] >= 1
+        assert set(report["caches"]) == {"result", "edge"}
+        assert "model" in engine.format_report()
+
+
+class TestModelTelemetry:
+    def test_percentiles_and_window(self):
+        telemetry = ModelTelemetry(window=4)
+        for value in (1.0, 2.0, 3.0, 4.0, 100.0):
+            telemetry.record_request(latency_ms=value, queue_ms=0.0, from_cache=False)
+        # Window of 4 dropped the first sample.
+        percentiles = telemetry.latency_percentiles()
+        assert percentiles["p50"] >= 2.0
+        assert percentiles["p50"] <= percentiles["p95"] <= percentiles["p99"]
+        assert telemetry.served == 5
+
+    def test_empty_percentiles_zero(self):
+        telemetry = ModelTelemetry()
+        assert telemetry.latency_percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        assert telemetry.throughput_rps == 0.0
+
+
+class TestApiHelpers:
+    def test_deploy_and_serve_end_to_end(self, rng, tiny_train):
+        architecture = device_fast_architecture("raspberry-pi")
+        deployed = api.deploy_architecture(
+            architecture,
+            "pi",
+            num_classes=tiny_train.num_classes,
+            name="e2e",
+            k=4,
+            embed_dim=16,
+            train_dataset=tiny_train,
+            train_epochs=1,
+        )
+        stream = [sample.points for sample in tiny_train][:6]
+        report = api.serve(deployed, stream, EngineConfig(max_batch_size=3))
+        assert len(report.results) == 6
+        assert all(0 <= r.label < tiny_train.num_classes for r in report.results)
+        assert report.telemetry["models"]["e2e"]["served"] == 6
+        # The engine stays usable for follow-up warm traffic.
+        warm = report.engine.submit("e2e", stream[0])
+        assert warm.from_cache
+
+    def test_deploy_into_existing_registry(self):
+        registry = ModelRegistry()
+        api.deploy_architecture(tx2_fast_architecture(), "tx2", num_classes=4, registry=registry)
+        assert registry.list() == ["tx2_fast"]
+
+    def test_root_lazy_exports(self):
+        import repro
+
+        assert repro.search_architecture is api.search_architecture
+        assert repro.deploy_architecture is api.deploy_architecture
+        assert repro.ModelRegistry is ModelRegistry
+        assert "serve" in dir(repro)
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
