@@ -1,0 +1,94 @@
+"""Workspace artifact-store speedup: repeated pipeline stages must be cache hits.
+
+The acceptance claim of the Workspace redesign, quantified: running the
+same stage twice with the same configuration hits the content-addressed
+artifact store on the second run — no predictor re-training, no search
+re-run — and the repeated stage is at least 5x faster than the cold one.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.data.synthetic_modelnet import make_synthetic_modelnet
+from repro.nas import HGNASConfig, dgcnn_architecture
+from repro.workspace import Workspace
+
+PREDICTOR_SAMPLES = 120
+PREDICTOR_EPOCHS = 12
+MIN_SPEEDUP = 5.0
+
+
+def _search_config(num_classes: int) -> HGNASConfig:
+    return HGNASConfig(
+        num_positions=6,
+        hidden_dim=12,
+        supernet_k=4,
+        num_classes=num_classes,
+        population_size=4,
+        function_iterations=1,
+        operation_iterations=2,
+        function_epochs=1,
+        operation_epochs=1,
+        batch_size=6,
+        eval_max_batches=1,
+        paths_per_function_eval=1,
+        seed=0,
+    )
+
+
+def test_predictor_stage_cache_speedup(benchmark, tmp_path):
+    """Second `train_predictor` with identical inputs loads instead of training."""
+    cold_ws = Workspace(device="rtx3080", root=tmp_path)
+    start = time.perf_counter()
+    cold = cold_ws.train_predictor(num_samples=PREDICTOR_SAMPLES, epochs=PREDICTOR_EPOCHS, seed=0)
+    cold_s = time.perf_counter() - start
+
+    # A fresh workspace over the same root: everything must come off disk.
+    warm_ws = Workspace(device="rtx3080", root=tmp_path)
+    start = time.perf_counter()
+    warm = warm_ws.train_predictor(num_samples=PREDICTOR_SAMPLES, epochs=PREDICTOR_EPOCHS, seed=0)
+    warm_s = time.perf_counter() - start
+
+    benchmark.pedantic(
+        lambda: Workspace(device="rtx3080", root=tmp_path).train_predictor(
+            num_samples=PREDICTOR_SAMPLES, epochs=PREDICTOR_EPOCHS, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["cold_s"] = round(cold_s, 4)
+    benchmark.extra_info["warm_s"] = round(warm_s, 4)
+    benchmark.extra_info["speedup"] = round(cold_s / warm_s, 1)
+
+    assert warm_ws.store.hits >= 1
+    arch = dgcnn_architecture()
+    assert warm.predictor.predict_latency_ms(arch) == cold.predictor.predict_latency_ms(arch)
+    assert cold_s >= MIN_SPEEDUP * warm_s, f"cached stage only {cold_s / warm_s:.1f}x faster"
+
+
+def test_search_stage_cache_speedup(benchmark, tmp_path):
+    """Second identical `search` returns the persisted result without re-searching."""
+    train_set, val_set = make_synthetic_modelnet(num_classes=4, samples_per_class=5, num_points=24, seed=0)
+    config = _search_config(train_set.num_classes)
+
+    start = time.perf_counter()
+    cold = Workspace(device="jetson-tx2", root=tmp_path).search(train_set, val_set, config=config)
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = Workspace(device="jetson-tx2", root=tmp_path).search(train_set, val_set, config=config)
+    warm_s = time.perf_counter() - start
+
+    benchmark.pedantic(
+        lambda: Workspace(device="jetson-tx2", root=tmp_path).search(train_set, val_set, config=config),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["cold_s"] = round(cold_s, 4)
+    benchmark.extra_info["warm_s"] = round(warm_s, 4)
+    benchmark.extra_info["speedup"] = round(cold_s / warm_s, 1)
+
+    assert warm.best_architecture.to_dict() == cold.best_architecture.to_dict()
+    assert warm.best_score == cold.best_score
+    assert cold_s >= MIN_SPEEDUP * warm_s, f"cached stage only {cold_s / warm_s:.1f}x faster"

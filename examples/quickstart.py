@@ -1,6 +1,8 @@
 """Quickstart: profile DGCNN on every edge device and inspect an HGNAS design.
 
-Run with ``python examples/quickstart.py`` (takes a few seconds).
+Run with ``python examples/quickstart.py`` (takes a few seconds).  The same
+information is available from the CLI (``repro devices``, ``repro profile``),
+and ``examples/workspace_pipeline.py`` shows the full cached pipeline.
 """
 
 from repro.experiments import format_table

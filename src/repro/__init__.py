@@ -19,12 +19,18 @@ DAC 2023) on top of a pure-numpy substrate:
 * :mod:`repro.predictor` -- the GNN-based hardware performance predictor.
 * :mod:`repro.serving` -- the batched, cached inference-serving engine that
   deploys searched architectures behind a request API.
+* :mod:`repro.workspace` -- the stateful pipeline entry point
+  (:class:`~repro.workspace.Workspace`) with its content-addressed artifact
+  store and the shared :class:`~repro.workspace.InferenceDefaults`.
+* :mod:`repro.cli` -- the unified ``repro`` command line
+  (``repro profile|predict|search|serve|devices``).
 * :mod:`repro.experiments` -- drivers that regenerate every table and figure
   of the paper's evaluation section.
 
-The high-level helpers of :mod:`repro.api` are re-exported lazily from the
-package root, so ``import repro; repro.search_architecture(...)`` works
-without paying the import cost of the subsystems you do not use.
+The high-level helpers of :mod:`repro.api`, the Workspace types and the
+device/evaluator registry hooks are re-exported lazily from the package
+root, so ``import repro; repro.Workspace(...)`` works without paying the
+import cost of the subsystems you do not use.
 """
 
 from importlib import import_module
@@ -46,6 +52,17 @@ _LAZY_EXPORTS = {
     "EngineConfig": "repro.serving",
     "ModelRegistry": "repro.serving",
     "DeployedModel": "repro.serving",
+    "Workspace": "repro.workspace",
+    "InferenceDefaults": "repro.workspace",
+    "ArtifactStore": "repro.workspace",
+    "register_device": "repro.hardware.device",
+    "unregister_device": "repro.hardware.device",
+    "get_device": "repro.hardware.device",
+    "list_devices": "repro.hardware.device",
+    "register_latency_evaluator": "repro.nas.latency_eval",
+    "unregister_latency_evaluator": "repro.nas.latency_eval",
+    "list_latency_evaluators": "repro.nas.latency_eval",
+    "make_latency_evaluator": "repro.nas.latency_eval",
 }
 
 __all__ = ["__version__", *sorted(_LAZY_EXPORTS)]

@@ -1,6 +1,7 @@
-"""High-level convenience API.
+"""High-level convenience API — one-shot shims over a throwaway Workspace.
 
-These helpers wire together the subsystems for the most common workflows:
+These helpers keep the original function-per-stage surface for quick
+scripts and backwards compatibility:
 
 * :func:`profile_architecture` — latency/memory/breakdown of an
   architecture on a device.
@@ -15,31 +16,33 @@ These helpers wire together the subsystems for the most common workflows:
   serve classification requests through the batched, cached
   :class:`~repro.serving.engine.InferenceEngine`.
 
+Each call builds a throwaway :class:`~repro.workspace.Workspace`, so
+nothing persists between calls; for multi-stage work (or to cache
+predictors/search results across runs) construct a ``Workspace`` with a
+``root`` directory instead.  Scenario parameters left at ``None`` resolve
+from the shared :class:`~repro.workspace.InferenceDefaults`
+(1024 points, ``k=20``, 40 classes, ``embed_dim=64``) — previously the
+profiling helpers assumed ``k=20`` while the deployment helpers assumed
+``k=10``.
+
 Every function accepts device names (``"rtx3080"``, ``"jetson-tx2"``,
-``"raspberry-pi"``, ``"i7-8700k"`` or aliases such as ``"gpu"``/``"pi"``).
+``"raspberry-pi"``, ``"i7-8700k"`` or aliases such as ``"gpu"``/``"pi"``)
+plus any device added through
+:func:`~repro.hardware.device.register_device`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-
 from repro.data.dataset import InMemoryDataset
-from repro.hardware.device import DeviceSpec, get_device
-from repro.hardware.profiler import ProfileResult, profile_workload
+from repro.hardware.device import DeviceSpec
+from repro.hardware.profiler import ProfileResult
 from repro.nas.architecture import Architecture
 from repro.nas.derived import DerivedModel
-from repro.nas.design_space import DesignSpace, DesignSpaceConfig
-from repro.nas.latency_eval import MeasurementLatencyEvaluator, OracleLatencyEvaluator
-from repro.nas.search import HGNAS, HGNASConfig, SearchResult
-from repro.predictor.dataset import generate_predictor_dataset
-from repro.predictor.evaluator import PredictorLatencyEvaluator
-from repro.predictor.metrics import PredictorMetrics
+from repro.nas.search import HGNASConfig, SearchResult
 from repro.predictor.model import LatencyPredictor, PredictorConfig
-from repro.predictor.train import PredictorTrainingConfig, evaluate_predictor, train_predictor
-from repro.serving.engine import EngineConfig, InferenceEngine, InferenceResult
+from repro.serving.engine import EngineConfig
 from repro.serving.registry import DeployedModel, ModelRegistry
+from repro.workspace import DEFAULTS, PredictorBundle, ServeReport, Workspace
 
 __all__ = [
     "profile_architecture",
@@ -57,43 +60,27 @@ __all__ = [
 def profile_architecture(
     architecture: Architecture,
     device: str | DeviceSpec,
-    num_points: int = 1024,
-    k: int = 20,
-    num_classes: int = 40,
+    num_points: int | None = None,
+    k: int | None = None,
+    num_classes: int | None = None,
 ) -> ProfileResult:
     """Profile an architecture's latency breakdown and memory on a device."""
-    spec = device if isinstance(device, DeviceSpec) else get_device(device)
-    workload = architecture.to_workload(num_points, k, num_classes)
-    return profile_workload(workload, spec)
+    return Workspace(device=device).profile(architecture, num_points=num_points, k=k, num_classes=num_classes)
 
 
 def measure_latency(
     architecture: Architecture,
     device: str | DeviceSpec,
-    num_points: int = 1024,
-    k: int = 20,
-    num_classes: int = 40,
+    num_points: int | None = None,
+    k: int | None = None,
+    num_classes: int | None = None,
     noisy: bool = False,
-    seed: int = 0,
+    seed: int | None = None,
 ) -> float:
     """Latency (ms) of an architecture on a device, optionally with measurement noise."""
-    spec = device if isinstance(device, DeviceSpec) else get_device(device)
-    if noisy:
-        evaluator = MeasurementLatencyEvaluator(
-            spec, num_points=num_points, k=k, num_classes=num_classes, rng=np.random.default_rng(seed)
-        )
-    else:
-        evaluator = OracleLatencyEvaluator(spec, num_points=num_points, k=k, num_classes=num_classes)
-    return evaluator.evaluate(architecture)
-
-
-@dataclass
-class PredictorBundle:
-    """A trained predictor with its validation metrics."""
-
-    predictor: LatencyPredictor
-    metrics: PredictorMetrics
-    device: str
+    return Workspace(device=device).measure_latency(
+        architecture, noisy=noisy, num_points=num_points, k=k, num_classes=num_classes, seed=seed
+    )
 
 
 def train_latency_predictor(
@@ -105,19 +92,13 @@ def train_latency_predictor(
     predictor_config: PredictorConfig | None = None,
 ) -> PredictorBundle:
     """Sample architectures, label them on the device and train a predictor."""
-    spec = device if isinstance(device, DeviceSpec) else get_device(device)
-    rng = np.random.default_rng(seed)
-    space = DesignSpace(DesignSpaceConfig(num_positions=num_positions, k=20, num_points=1024))
-    dataset = generate_predictor_dataset(space, spec, num_samples, rng)
-    train_split, val_split = dataset.split(0.75, rng)
-    predictor = LatencyPredictor(predictor_config or PredictorConfig(gcn_dims=(32, 48, 48), mlp_dims=(32, 16), seed=seed))
-    train_predictor(
-        predictor,
-        train_split,
-        val_split,
-        PredictorTrainingConfig(epochs=epochs, batch_size=32, learning_rate=1e-2, seed=seed),
+    return Workspace(device=device).train_predictor(
+        num_samples=num_samples,
+        num_positions=num_positions,
+        epochs=epochs,
+        seed=seed,
+        predictor_config=predictor_config,
     )
-    return PredictorBundle(predictor=predictor, metrics=evaluate_predictor(predictor, val_split), device=spec.name)
 
 
 def search_architecture(
@@ -136,45 +117,44 @@ def search_architecture(
         train_dataset: Supernet training data.
         val_dataset: Validation data used by the search objective.
         config: Search configuration (a laptop-scale default is used if omitted).
-        latency_oracle: ``"oracle"`` (analytical model), ``"measurement"``
-            (noisy, slow simulated measurement) or ``"predictor"`` (requires
+        latency_oracle: Any evaluator registered through
+            :func:`~repro.nas.latency_eval.register_latency_evaluator` —
+            built-ins are ``"oracle"`` (analytical model), ``"measurement"``
+            (noisy, slow simulated measurement) and ``"predictor"`` (requires
             ``predictor`` or trains a small one on the fly).
         predictor: Optional pre-trained latency predictor.
         seed: RNG seed.
     """
-    spec = device if isinstance(device, DeviceSpec) else get_device(device)
-    config = config or HGNASConfig(num_classes=train_dataset.num_classes, seed=seed)
-    if latency_oracle == "oracle":
-        evaluator = OracleLatencyEvaluator(
-            spec, num_points=config.deploy_num_points, k=config.deploy_k, num_classes=config.num_classes
-        )
-    elif latency_oracle == "measurement":
-        evaluator = MeasurementLatencyEvaluator(
-            spec,
-            num_points=config.deploy_num_points,
-            k=config.deploy_k,
-            num_classes=config.num_classes,
-            rng=np.random.default_rng(seed),
-        )
-    elif latency_oracle == "predictor":
-        if predictor is None:
-            predictor = train_latency_predictor(spec, num_samples=200, num_positions=config.num_positions, epochs=40, seed=seed).predictor
-        evaluator = PredictorLatencyEvaluator(predictor)
-    else:
-        raise ValueError(f"unknown latency oracle '{latency_oracle}'")
-    search = HGNAS(config, train_dataset, val_dataset, evaluator, rng=np.random.default_rng(seed))
-    return search.run()
+    return Workspace(device=device).search(
+        train_dataset,
+        val_dataset,
+        config=config,
+        latency_oracle=latency_oracle,
+        predictor=predictor,
+        seed=seed,
+    )
 
 
 def build_model(
     architecture: Architecture,
     num_classes: int,
-    k: int = 10,
-    embed_dim: int = 64,
-    seed: int = 0,
+    k: int | None = None,
+    embed_dim: int | None = None,
+    seed: int | None = None,
 ) -> DerivedModel:
-    """Instantiate a searched architecture as a trainable stand-alone model."""
-    return DerivedModel(architecture, num_classes=num_classes, k=k, embed_dim=embed_dim, seed=seed)
+    """Instantiate a searched architecture as a trainable stand-alone model.
+
+    Device-independent, so it resolves the shared defaults directly rather
+    than going through a workspace (which would needlessly bind a device).
+    """
+    scenario = DEFAULTS.resolve(k=k, embed_dim=embed_dim, seed=seed)
+    return DerivedModel(
+        architecture,
+        num_classes=num_classes,
+        k=scenario.k,
+        embed_dim=scenario.embed_dim,
+        seed=scenario.seed,
+    )
 
 
 def deploy_architecture(
@@ -183,9 +163,9 @@ def deploy_architecture(
     num_classes: int,
     name: str | None = None,
     registry: ModelRegistry | None = None,
-    k: int = 10,
-    embed_dim: int = 64,
-    seed: int = 0,
+    k: int | None = None,
+    embed_dim: int | None = None,
+    seed: int | None = None,
     slo_ms: float | None = None,
     train_dataset: InMemoryDataset | None = None,
     train_epochs: int = 5,
@@ -201,7 +181,8 @@ def deploy_architecture(
             ``"deployed"`` when unnamed).
         registry: Registry to add the entry to; a fresh one is created when
             omitted.
-        k: Neighbourhood size at inference time.
+        k: Neighbourhood size at inference time (default: the shared
+            :class:`~repro.workspace.InferenceDefaults`).
         embed_dim: Classifier-head embedding width.
         seed: Weight-initialisation / training seed.
         slo_ms: Optional per-request latency budget on ``device``.
@@ -215,39 +196,19 @@ def deploy_architecture(
         Pass a ``registry`` to keep multiple deployments together;
         :func:`serve` accepts the returned entry directly either way.
     """
-    from repro.nas.trainer import train_classifier
-
-    spec = device if isinstance(device, DeviceSpec) else get_device(device)
-    model = DerivedModel(architecture, num_classes=num_classes, k=k, embed_dim=embed_dim, seed=seed)
-    if train_dataset is not None:
-        train_classifier(
-            model,
-            train_dataset,
-            epochs=train_epochs,
-            batch_size=train_batch_size,
-            rng=np.random.default_rng(seed),
-        )
-    registry = registry if registry is not None else ModelRegistry()
-    return registry.register(
-        name=name or architecture.name or "deployed",
-        architecture=architecture,
-        device=spec,
-        num_classes=num_classes,
+    workspace = Workspace(device=device, registry=registry)
+    return workspace.deploy(
+        architecture,
+        num_classes,
+        name=name,
         k=k,
         embed_dim=embed_dim,
         seed=seed,
         slo_ms=slo_ms,
-        model=model,
+        train_dataset=train_dataset,
+        train_epochs=train_epochs,
+        train_batch_size=train_batch_size,
     )
-
-
-@dataclass
-class ServeReport:
-    """Results of a served request stream plus the engine that produced them."""
-
-    results: list[InferenceResult]
-    telemetry: dict
-    engine: InferenceEngine
 
 
 def serve(
@@ -258,26 +219,13 @@ def serve(
 ) -> ServeReport:
     """Serve a stream of point clouds through a deployed model.
 
-    A convenience wrapper that builds a single-entry registry (unless one is
-    supplied) and an :class:`~repro.serving.engine.InferenceEngine`, submits
-    every cloud with micro-batching, and returns results plus telemetry.
-    Keep the engine from the returned report to serve follow-up traffic with
-    warm caches.
+    A convenience wrapper that adopts ``deployed`` into a single-entry
+    registry (unless one is supplied) and serves every cloud with
+    micro-batching through a workspace engine, returning results plus
+    telemetry.  Keep the engine from the returned report to serve follow-up
+    traffic with warm caches.
     """
-    if registry is None:
-        registry = ModelRegistry()
-    if deployed.name not in registry:
-        registry.register(
-            name=deployed.name,
-            architecture=deployed.architecture,
-            device=deployed.device,
-            num_classes=deployed.num_classes,
-            k=deployed.k,
-            embed_dim=deployed.embed_dim,
-            seed=deployed.seed,
-            slo_ms=deployed.slo_ms,
-            model=deployed.model,
-        )
-    engine = InferenceEngine(registry, config)
-    results = engine.submit_many(deployed.name, clouds)
-    return ServeReport(results=results, telemetry=engine.report(), engine=engine)
+    workspace = Workspace(device=deployed.device, registry=registry)
+    if deployed.name not in workspace.registry:
+        workspace.registry.add(deployed)
+    return workspace.serve(clouds, name=deployed.name, config=config)

@@ -1,0 +1,5 @@
+"""Allow ``python -m repro.cli ...`` to run the unified CLI."""
+
+from repro.cli.main import main
+
+raise SystemExit(main())

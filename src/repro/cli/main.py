@@ -1,0 +1,288 @@
+"""``repro``: the unified command-line entry point, built on the Workspace.
+
+Subcommands mirror the pipeline stages::
+
+    repro devices                 # list the registered device models
+    repro profile  --device pi    # latency/memory breakdown of a preset
+    repro predict  --device gpu   # train (or load) the latency predictor
+    repro search   --device tx2   # run a laptop-scale hardware-aware search
+    repro serve    --requests 64  # serve a synthetic stream, print telemetry
+
+Pass ``--root DIR`` to any stage command to persist artifacts in a
+content-addressed store, so a repeated ``repro predict``/``repro search``
+with the same flags loads the previous result instead of recomputing.  The
+legacy ``repro-serve`` script forwards to ``repro serve``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.experiments.common import ExperimentScale, format_table, load_benchmark_dataset
+from repro.hardware.device import all_devices, list_devices
+from repro.nas.latency_eval import list_latency_evaluators
+from repro.nas.presets import device_acc_architecture, device_fast_architecture, dgcnn_architecture
+from repro.nas.search import HGNASConfig
+from repro.nas.visualize import render_architecture
+from repro.serving.engine import AdmissionError, EngineConfig
+from repro.workspace import Workspace
+
+__all__ = ["build_parser", "add_serve_arguments", "main"]
+
+_PRESETS = {
+    "dgcnn": lambda device: dgcnn_architecture(),
+    "fast": lambda device: device_fast_architecture(device),
+    "acc": lambda device: device_acc_architecture(device),
+}
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser, default_device: str = "jetson-tx2") -> None:
+    parser.add_argument(
+        "--device",
+        default=default_device,
+        help=f"target device ({', '.join(list_devices())} or aliases)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="artifact-store directory; repeated runs with the same flags reuse persisted results",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+
+
+def _print_store_stats(workspace: Workspace) -> None:
+    stats = workspace.cache_stats()
+    location = stats["root"] or "memory-only"
+    print(f"artifact store: {stats['hits']} hits, {stats['misses']} misses ({location})")
+
+
+# ---------------------------------------------------------------------- #
+# repro devices
+# ---------------------------------------------------------------------- #
+def _cmd_devices(args: argparse.Namespace) -> int:
+    rows = [
+        {
+            "name": device.name,
+            "display": device.display_name,
+            "power_w": device.power_watts,
+            "memory_mb": device.available_memory_mb,
+            "noise": device.measurement_noise,
+            "round_trip_s": device.measurement_round_trip_s,
+        }
+        for device in all_devices()
+    ]
+    print(format_table(rows))
+    print(f"\nlatency oracles: {', '.join(list_latency_evaluators())}")
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# repro profile
+# ---------------------------------------------------------------------- #
+def _cmd_profile(args: argparse.Namespace) -> int:
+    workspace = Workspace(device=args.device)
+    architecture = _PRESETS[args.arch](workspace.device.name)
+    profile = workspace.profile(
+        architecture, num_points=args.num_points, k=args.k, num_classes=args.num_classes
+    )
+    print(f"== {profile.workload or args.arch} on {workspace.device.display_name} ==")
+    print(f"total latency : {profile.total_latency_ms:.2f} ms")
+    print(f"peak memory   : {profile.peak_memory_mb:.1f} MB (OOM: {'yes' if profile.out_of_memory else 'no'})")
+    rows = [
+        {"category": category, "latency_ms": ms, "fraction": profile.category_fractions[category]}
+        for category, ms in profile.category_ms.items()
+    ]
+    print(format_table(rows))
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# repro predict
+# ---------------------------------------------------------------------- #
+def _cmd_predict(args: argparse.Namespace) -> int:
+    workspace = Workspace(device=args.device, root=args.root)
+    bundle = workspace.train_predictor(
+        num_samples=args.num_samples, epochs=args.epochs, seed=args.seed, fresh=args.fresh
+    )
+    print(f"latency predictor for {bundle.device}:")
+    print(
+        format_table(
+            [
+                {
+                    "mape": bundle.metrics.mape,
+                    "within_10pct": bundle.metrics.bound_accuracy_10,
+                    "within_20pct": bundle.metrics.bound_accuracy_20,
+                    "rank_corr": bundle.metrics.spearman,
+                    "val_samples": bundle.metrics.num_samples,
+                }
+            ]
+        )
+    )
+    example = dgcnn_architecture()
+    print(f"DGCNN predicted latency: {bundle.predictor.predict_latency_ms(example):.2f} ms")
+    _print_store_stats(workspace)
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# repro search
+# ---------------------------------------------------------------------- #
+def _cmd_search(args: argparse.Namespace) -> int:
+    workspace = Workspace(device=args.device, root=args.root)
+    scale = ExperimentScale(
+        num_classes=args.classes,
+        samples_per_class=args.samples_per_class,
+        num_points=args.points,
+        seed=args.seed,
+    )
+    train_set, val_set = load_benchmark_dataset(scale)
+    config = HGNASConfig(
+        num_positions=args.num_positions,
+        num_classes=train_set.num_classes,
+        population_size=args.population,
+        function_iterations=args.function_iterations,
+        operation_iterations=args.operation_iterations,
+        function_epochs=args.function_epochs,
+        operation_epochs=args.operation_epochs,
+        seed=args.seed,
+    )
+    result = workspace.search(
+        train_set,
+        val_set,
+        config=config,
+        latency_oracle=args.oracle,
+        seed=args.seed,
+        fresh=args.fresh,
+    )
+    print(render_architecture(result.best_architecture, title=f"{workspace.device.display_name} design"))
+    print(f"objective score      : {result.best_score:.3f}")
+    print(f"ws accuracy          : {result.best_accuracy:.3f}")
+    print(f"predicted latency    : {result.best_latency_ms:.2f} ms")
+    print(f"search time (virtual): {result.search_time_s / 3600:.2f} GPU-hours equivalent")
+    _print_store_stats(workspace)
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# repro serve
+# ---------------------------------------------------------------------- #
+def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the serve-stream flags (shared with the legacy ``repro-serve``)."""
+    _add_common_arguments(parser)
+    parser.add_argument("--requests", type=int, default=64, help="number of synthetic requests")
+    parser.add_argument("--num-points", type=int, default=64, help="points per request cloud")
+    parser.add_argument("--num-classes", type=int, default=10, help="classifier output classes")
+    parser.add_argument("--batch-size", type=int, default=8, help="micro-batch size")
+    parser.add_argument(
+        "--repeat-every", type=int, default=4, help="reuse a previous cloud every Nth request (0 disables)"
+    )
+    parser.add_argument("--slo-ms", type=float, default=None, help="per-request latency SLO on the target device")
+    parser.add_argument("--no-cache", action="store_true", help="disable result and edge caches")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    workspace = Workspace(device=args.device, root=args.root)
+    architecture = device_fast_architecture(workspace.device.name)
+    deployed = workspace.deploy(
+        architecture,
+        num_classes=args.num_classes,
+        name=f"{architecture.name}-demo",
+        k=8,
+        slo_ms=args.slo_ms,
+    )
+    cache_capacity = 0 if args.no_cache else 512
+    engine_config = EngineConfig(
+        max_batch_size=args.batch_size,
+        result_cache_capacity=cache_capacity,
+        edge_cache_capacity=cache_capacity,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    clouds: list[np.ndarray] = []
+    for index in range(args.requests):
+        if args.repeat_every and clouds and index % args.repeat_every == 0:
+            clouds.append(clouds[int(rng.integers(0, len(clouds)))])
+        else:
+            clouds.append(rng.standard_normal((args.num_points, 3)))
+
+    report = workspace.serve(clouds, name=deployed.name, config=engine_config)
+    print(f"served {len(report.results)} requests on {workspace.device.display_name} via '{deployed.name}'")
+    print(report.engine.format_report())
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# Parser / dispatch
+# ---------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HGNAS reproduction pipeline: profile, predict, search and serve point-cloud GNNs.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    devices = subparsers.add_parser("devices", help="list registered devices and latency oracles")
+    devices.set_defaults(func=_cmd_devices)
+
+    # Profiling is deterministic and cheap: no --root/--seed, unlike the
+    # stage commands that persist artifacts.
+    profile = subparsers.add_parser("profile", help="latency/memory breakdown of a preset architecture")
+    profile.add_argument(
+        "--device",
+        default="jetson-tx2",
+        help=f"target device ({', '.join(list_devices())} or aliases)",
+    )
+    profile.add_argument("--arch", choices=sorted(_PRESETS), default="fast", help="preset architecture")
+    profile.add_argument("--num-points", type=int, default=None, help="points per cloud (default: 1024)")
+    profile.add_argument("--k", type=int, default=None, help="KNN neighbourhood size (default: 20)")
+    profile.add_argument("--num-classes", type=int, default=None, help="classifier classes (default: 40)")
+    profile.set_defaults(func=_cmd_profile)
+
+    predict = subparsers.add_parser("predict", help="train or load the GNN latency predictor")
+    _add_common_arguments(predict)
+    predict.add_argument("--num-samples", type=int, default=150, help="sampled architectures to label")
+    predict.add_argument("--epochs", type=int, default=30, help="predictor training epochs")
+    predict.add_argument("--fresh", action="store_true", help="retrain even when a cached artifact exists")
+    predict.set_defaults(func=_cmd_predict)
+
+    search = subparsers.add_parser("search", help="run a laptop-scale hardware-aware search")
+    _add_common_arguments(search)
+    search.add_argument(
+        "--oracle",
+        default="oracle",
+        help=f"latency oracle ({', '.join(list_latency_evaluators())})",
+    )
+    search.add_argument("--num-positions", type=int, default=8, help="design-space positions")
+    search.add_argument("--population", type=int, default=6, help="evolutionary population size")
+    search.add_argument("--function-iterations", type=int, default=2, help="stage-1 EA iterations")
+    search.add_argument("--operation-iterations", type=int, default=4, help="stage-2 EA iterations")
+    search.add_argument("--function-epochs", type=int, default=1, help="stage-1 supernet epochs")
+    search.add_argument("--operation-epochs", type=int, default=1, help="stage-2 supernet epochs")
+    search.add_argument("--classes", type=int, default=6, help="synthetic benchmark classes")
+    search.add_argument("--samples-per-class", type=int, default=6, help="samples per class")
+    search.add_argument("--points", type=int, default=32, help="points per training cloud")
+    search.add_argument("--fresh", action="store_true", help="re-search even when a cached artifact exists")
+    search.set_defaults(func=_cmd_search)
+
+    serve = subparsers.add_parser("serve", help="serve a synthetic request stream, print telemetry")
+    add_serve_arguments(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (KeyError, ValueError, AdmissionError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(f"repro: error: {message}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -41,11 +41,16 @@ class ExperimentScale:
             raise ValueError("training scale parameters must be positive")
 
 
-def resolve_devices(devices: Sequence[str] | None = None) -> list[DeviceSpec]:
-    """Map device names (or ``None`` for all four paper devices) to specs."""
+def resolve_devices(devices: Sequence[str | DeviceSpec] | None = None) -> list[DeviceSpec]:
+    """Map device names/specs (or ``None`` for every registered device) to specs.
+
+    Names resolve through the device registry, so devices added with
+    :func:`repro.hardware.device.register_device` participate in experiment
+    sweeps; built :class:`DeviceSpec` instances pass through unchanged.
+    """
     if devices is None:
         return all_devices()
-    return [get_device(name) for name in devices]
+    return [device if isinstance(device, DeviceSpec) else get_device(device) for device in devices]
 
 
 def load_benchmark_dataset(scale: ExperimentScale) -> tuple[InMemoryDataset, InMemoryDataset]:

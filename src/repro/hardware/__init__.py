@@ -16,7 +16,15 @@ from repro.hardware.cost_model import (
     lower_op,
     lower_workload,
 )
-from repro.hardware.device import DEVICE_ALIASES, DeviceSpec, all_devices, get_device, list_devices
+from repro.hardware.device import (
+    DEVICE_ALIASES,
+    DeviceSpec,
+    all_devices,
+    get_device,
+    list_devices,
+    register_device,
+    unregister_device,
+)
 from repro.hardware.latency import LatencyReport, OpLatency, estimate_latency
 from repro.hardware.measurement import DeviceMeasurement, MeasurementSample
 from repro.hardware.memory import MemoryReport, estimate_peak_memory, is_out_of_memory
@@ -46,6 +54,8 @@ __all__ = [
     "all_devices",
     "get_device",
     "list_devices",
+    "register_device",
+    "unregister_device",
     "LatencyReport",
     "OpLatency",
     "estimate_latency",

@@ -1,19 +1,32 @@
-"""Edge-device specifications.
+"""Edge-device specifications and the pluggable device registry.
 
 Each :class:`DeviceSpec` bundles the calibrated cost coefficients (see
 :mod:`repro.hardware.calibration`) with the device's memory budget, power
 draw and measurement characteristics.  The four devices of the paper are
-available from :func:`get_device`; custom devices can be constructed
-directly for extension studies.
+pre-registered; additional devices — a built :class:`DeviceSpec` or a
+:class:`~repro.hardware.calibration.CalibrationTarget` that is calibrated
+lazily on first use — join the same namespace through
+:func:`register_device`, after which every consumer (:func:`get_device`,
+experiment sweeps, the ``repro`` CLI, :class:`repro.workspace.Workspace`)
+sees them by name or alias.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Iterable
 
 from repro.hardware.calibration import PAPER_TARGETS, CalibrationTarget, calibrate_coefficients
 
-__all__ = ["DeviceSpec", "get_device", "list_devices", "all_devices", "DEVICE_ALIASES"]
+__all__ = [
+    "DeviceSpec",
+    "register_device",
+    "unregister_device",
+    "get_device",
+    "list_devices",
+    "all_devices",
+    "DEVICE_ALIASES",
+]
 
 
 @dataclass(frozen=True)
@@ -87,26 +100,60 @@ def _build_device(target: CalibrationTarget) -> DeviceSpec:
     )
 
 
+#: Canonical name -> registered entry.  A :class:`CalibrationTarget` entry is
+#: calibrated into a :class:`DeviceSpec` lazily on first :func:`get_device`.
+_DEVICE_REGISTRY: dict[str, DeviceSpec | CalibrationTarget] = {}
 _DEVICE_CACHE: dict[str, DeviceSpec] = {}
 
-#: Accepted aliases for each canonical device name.
-DEVICE_ALIASES = {
-    "rtx3080": "rtx3080",
-    "rtx-3080": "rtx3080",
-    "nvidia rtx3080": "rtx3080",
-    "gpu": "rtx3080",
-    "i7-8700k": "i7-8700k",
-    "i7": "i7-8700k",
-    "intel i7-8700k": "i7-8700k",
-    "cpu": "i7-8700k",
-    "jetson-tx2": "jetson-tx2",
-    "tx2": "jetson-tx2",
-    "jetson tx2": "jetson-tx2",
-    "raspberry-pi": "raspberry-pi",
-    "raspberry pi 3b+": "raspberry-pi",
-    "pi": "raspberry-pi",
-    "raspberrypi": "raspberry-pi",
-}
+#: Accepted aliases (lower-case) -> canonical device name.  Kept importable
+#: for back compatibility; extend it through :func:`register_device` rather
+#: than writing to it directly.
+DEVICE_ALIASES: dict[str, str] = {}
+
+
+def register_device(
+    device: DeviceSpec | CalibrationTarget,
+    aliases: Iterable[str] = (),
+    replace: bool = False,
+) -> str:
+    """Register a device under its canonical name (plus optional aliases).
+
+    Args:
+        device: A ready :class:`DeviceSpec`, or a
+            :class:`~repro.hardware.calibration.CalibrationTarget` whose cost
+            coefficients are calibrated on first use.
+        aliases: Extra lookup names (case-insensitive) for :func:`get_device`.
+        replace: Allow overwriting an existing device or stealing an alias.
+
+    Returns:
+        The canonical (lower-case) name the device was registered under.
+    """
+    name = device.name.strip().lower()
+    if not name:
+        raise ValueError("device name must be non-empty")
+    if name in _DEVICE_REGISTRY and not replace:
+        raise ValueError(f"device '{name}' already registered (pass replace=True)")
+    alias_keys = {name} | {alias.strip().lower() for alias in aliases}
+    for alias in alias_keys:
+        owner = DEVICE_ALIASES.get(alias)
+        if owner is not None and owner != name and not replace:
+            raise ValueError(f"alias '{alias}' already maps to device '{owner}' (pass replace=True)")
+    _DEVICE_REGISTRY[name] = device
+    _DEVICE_CACHE.pop(name, None)
+    for alias in alias_keys:
+        DEVICE_ALIASES[alias] = name
+    return name
+
+
+def unregister_device(name: str) -> None:
+    """Remove a registered device and every alias pointing at it."""
+    key = DEVICE_ALIASES.get(name.strip().lower(), name.strip().lower())
+    if key not in _DEVICE_REGISTRY:
+        raise KeyError(f"unknown device '{name}'; known devices: {list_devices()}")
+    del _DEVICE_REGISTRY[key]
+    _DEVICE_CACHE.pop(key, None)
+    for alias in [alias for alias, target in DEVICE_ALIASES.items() if target == key]:
+        del DEVICE_ALIASES[alias]
 
 
 def get_device(name: str) -> DeviceSpec:
@@ -115,15 +162,27 @@ def get_device(name: str) -> DeviceSpec:
     if key is None:
         raise KeyError(f"unknown device '{name}'; known devices: {list_devices()}")
     if key not in _DEVICE_CACHE:
-        _DEVICE_CACHE[key] = _build_device(PAPER_TARGETS[key])
+        entry = _DEVICE_REGISTRY[key]
+        _DEVICE_CACHE[key] = entry if isinstance(entry, DeviceSpec) else _build_device(entry)
     return _DEVICE_CACHE[key]
 
 
 def list_devices() -> list[str]:
-    """Canonical names of the modelled devices."""
-    return list(PAPER_TARGETS.keys())
+    """Canonical names of the registered devices, in registration order."""
+    return list(_DEVICE_REGISTRY)
 
 
 def all_devices() -> list[DeviceSpec]:
-    """Calibrated specs for all modelled devices, in paper order."""
+    """Calibrated specs for all registered devices, paper devices first."""
     return [get_device(name) for name in list_devices()]
+
+
+_PAPER_ALIASES: dict[str, tuple[str, ...]] = {
+    "rtx3080": ("rtx-3080", "nvidia rtx3080", "gpu"),
+    "i7-8700k": ("i7", "intel i7-8700k", "cpu"),
+    "jetson-tx2": ("tx2", "jetson tx2"),
+    "raspberry-pi": ("raspberry pi 3b+", "pi", "raspberrypi"),
+}
+
+for _target in PAPER_TARGETS.values():
+    register_device(_target, aliases=_PAPER_ALIASES[_target.name])

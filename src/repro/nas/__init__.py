@@ -12,9 +12,14 @@ from repro.nas.derived import DerivedModel
 from repro.nas.design_space import DesignSpace, DesignSpaceConfig
 from repro.nas.evolution import EvolutionConfig, EvolutionResult, EvolutionarySearch, HistoryPoint
 from repro.nas.latency_eval import (
+    EvaluatorRequest,
     LatencyEvaluator,
     MeasurementLatencyEvaluator,
     OracleLatencyEvaluator,
+    list_latency_evaluators,
+    make_latency_evaluator,
+    register_latency_evaluator,
+    unregister_latency_evaluator,
 )
 from repro.nas.objective import ObjectiveConfig, hardware_constrained_score, objective_score
 from repro.nas.ops import (
@@ -61,9 +66,14 @@ __all__ = [
     "EvolutionResult",
     "EvolutionarySearch",
     "HistoryPoint",
+    "EvaluatorRequest",
     "LatencyEvaluator",
     "MeasurementLatencyEvaluator",
     "OracleLatencyEvaluator",
+    "list_latency_evaluators",
+    "make_latency_evaluator",
+    "register_latency_evaluator",
+    "unregister_latency_evaluator",
     "ObjectiveConfig",
     "hardware_constrained_score",
     "objective_score",

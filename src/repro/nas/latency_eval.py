@@ -15,21 +15,38 @@ objective:
 All evaluators share the same duck-typed interface: ``evaluate(architecture)
 -> latency in ms`` and ``query_cost_s`` (simulated wall-clock cost of one
 query).
+
+Evaluators are pluggable through a string-keyed registry: the built-in
+``"oracle"``/``"measurement"``/``"predictor"`` factories are registered at
+import time, and :func:`register_latency_evaluator` adds custom oracles
+(e.g. a table lookup or a remote measurement client) that the search,
+:func:`repro.api.search_architecture` and :class:`repro.workspace.Workspace`
+can then select by name.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import Any, Callable, Protocol
 
 import numpy as np
 
+from repro.defaults import DEFAULTS as _SCENARIO_DEFAULTS
 from repro.hardware.device import DeviceSpec
 from repro.hardware.latency import estimate_latency
 from repro.hardware.measurement import DeviceMeasurement
 from repro.nas.architecture import Architecture
 
-__all__ = ["LatencyEvaluator", "OracleLatencyEvaluator", "MeasurementLatencyEvaluator"]
+__all__ = [
+    "LatencyEvaluator",
+    "OracleLatencyEvaluator",
+    "MeasurementLatencyEvaluator",
+    "EvaluatorRequest",
+    "register_latency_evaluator",
+    "unregister_latency_evaluator",
+    "list_latency_evaluators",
+    "make_latency_evaluator",
+]
 
 
 class LatencyEvaluator(Protocol):
@@ -47,9 +64,9 @@ class OracleLatencyEvaluator:
     """Noise-free analytical latency (zero query cost)."""
 
     device: DeviceSpec
-    num_points: int = 1024
-    k: int = 20
-    num_classes: int = 40
+    num_points: int = _SCENARIO_DEFAULTS.num_points
+    k: int = _SCENARIO_DEFAULTS.k
+    num_classes: int = _SCENARIO_DEFAULTS.num_classes
     query_cost_s: float = 0.0
 
     def evaluate(self, architecture: Architecture) -> float:
@@ -62,9 +79,9 @@ class MeasurementLatencyEvaluator:
     """Simulated on-device measurement: accurate but slow and noisy."""
 
     device: DeviceSpec
-    num_points: int = 1024
-    k: int = 20
-    num_classes: int = 40
+    num_points: int = _SCENARIO_DEFAULTS.num_points
+    k: int = _SCENARIO_DEFAULTS.k
+    num_classes: int = _SCENARIO_DEFAULTS.num_classes
     rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
 
     def __post_init__(self) -> None:
@@ -74,3 +91,109 @@ class MeasurementLatencyEvaluator:
     def evaluate(self, architecture: Architecture) -> float:
         workload = architecture.to_workload(self.num_points, self.k, self.num_classes)
         return self._measurement.measure_latency_ms(workload)
+
+
+# ---------------------------------------------------------------------- #
+# Evaluator registry
+# ---------------------------------------------------------------------- #
+@dataclass
+class EvaluatorRequest:
+    """Everything an evaluator factory may need to build its oracle.
+
+    The scenario defaults come from the shared
+    :data:`repro.defaults.DEFAULTS` rather than another hardcoded copy.  ``predictor`` (a pre-trained
+    :class:`~repro.predictor.model.LatencyPredictor`, typed loosely to keep
+    this module free of the predictor import) and ``predictor_factory`` (a
+    zero-argument callable training or loading one on demand) are only
+    consulted by predictor-style evaluators.
+    """
+
+    device: DeviceSpec
+    num_points: int = _SCENARIO_DEFAULTS.num_points
+    k: int = _SCENARIO_DEFAULTS.k
+    num_classes: int = _SCENARIO_DEFAULTS.num_classes
+    seed: int = _SCENARIO_DEFAULTS.seed
+    predictor: Any | None = None
+    predictor_factory: Callable[[], Any] | None = None
+
+
+EvaluatorFactory = Callable[[EvaluatorRequest], LatencyEvaluator]
+
+_EVALUATOR_FACTORIES: dict[str, EvaluatorFactory] = {}
+
+
+def register_latency_evaluator(
+    name: str, factory: EvaluatorFactory | None = None, replace: bool = False
+) -> Callable:
+    """Register an evaluator factory under ``name`` (directly or as a decorator).
+
+    The factory receives an :class:`EvaluatorRequest` and returns an object
+    satisfying the :class:`LatencyEvaluator` protocol.
+    """
+    key = name.strip().lower()
+    if not key:
+        raise ValueError("evaluator name must be non-empty")
+
+    def _register(fn: EvaluatorFactory) -> EvaluatorFactory:
+        if key in _EVALUATOR_FACTORIES and not replace:
+            raise ValueError(f"latency evaluator '{key}' already registered (pass replace=True)")
+        _EVALUATOR_FACTORIES[key] = fn
+        return fn
+
+    return _register if factory is None else _register(factory)
+
+
+def unregister_latency_evaluator(name: str) -> None:
+    """Remove a registered evaluator factory."""
+    key = name.strip().lower()
+    if key not in _EVALUATOR_FACTORIES:
+        raise KeyError(f"unknown latency oracle '{name}'; registered: {list_latency_evaluators()}")
+    del _EVALUATOR_FACTORIES[key]
+
+
+def list_latency_evaluators() -> list[str]:
+    """Names of the registered latency oracles, sorted."""
+    return sorted(_EVALUATOR_FACTORIES)
+
+
+def make_latency_evaluator(name: str, request: EvaluatorRequest) -> LatencyEvaluator:
+    """Build the evaluator registered under ``name`` for ``request``."""
+    factory = _EVALUATOR_FACTORIES.get(name.strip().lower())
+    if factory is None:
+        raise ValueError(f"unknown latency oracle '{name}'; registered: {list_latency_evaluators()}")
+    return factory(request)
+
+
+@register_latency_evaluator("oracle")
+def _make_oracle_evaluator(request: EvaluatorRequest) -> OracleLatencyEvaluator:
+    return OracleLatencyEvaluator(
+        request.device, num_points=request.num_points, k=request.k, num_classes=request.num_classes
+    )
+
+
+@register_latency_evaluator("measurement")
+def _make_measurement_evaluator(request: EvaluatorRequest) -> MeasurementLatencyEvaluator:
+    return MeasurementLatencyEvaluator(
+        request.device,
+        num_points=request.num_points,
+        k=request.k,
+        num_classes=request.num_classes,
+        rng=np.random.default_rng(request.seed),
+    )
+
+
+@register_latency_evaluator("predictor")
+def _make_predictor_evaluator(request: EvaluatorRequest) -> LatencyEvaluator:
+    # Imported lazily so search runs that never use the predictor oracle do
+    # not pay for the predictor subsystem.
+    from repro.predictor.evaluator import PredictorLatencyEvaluator
+
+    predictor = request.predictor
+    if predictor is None and request.predictor_factory is not None:
+        predictor = request.predictor_factory()
+    if predictor is None:
+        raise ValueError(
+            "latency oracle 'predictor' needs a pre-trained predictor or a "
+            "predictor_factory on the EvaluatorRequest"
+        )
+    return PredictorLatencyEvaluator(predictor)

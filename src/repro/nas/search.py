@@ -30,7 +30,7 @@ from repro.data.dataset import InMemoryDataset
 from repro.nas.architecture import Architecture
 from repro.nas.design_space import DesignSpace, DesignSpaceConfig
 from repro.nas.evolution import EvolutionConfig, EvolutionarySearch, HistoryPoint
-from repro.nas.latency_eval import LatencyEvaluator
+from repro.nas.latency_eval import EvaluatorRequest, LatencyEvaluator, make_latency_evaluator
 from repro.nas.objective import ObjectiveConfig, hardware_constrained_score
 from repro.nas.ops import FunctionSet, mutate_function_set, random_function_set
 from repro.nas.supernet import Supernet, SupernetConfig
@@ -165,6 +165,43 @@ class HGNAS:
         )
         self._accuracy_cache: dict[tuple, float] = {}
         self._latency_cache: dict[tuple, float] = {}
+
+    @classmethod
+    def for_device(
+        cls,
+        config: HGNASConfig,
+        train_dataset: InMemoryDataset,
+        val_dataset: InMemoryDataset,
+        device,
+        latency_oracle: str = "oracle",
+        predictor=None,
+        predictor_factory=None,
+        objective: ObjectiveConfig | None = None,
+        rng: np.random.Generator | None = None,
+        clock: VirtualClock | None = None,
+        seed: int | None = None,
+    ) -> "HGNAS":
+        """Build a search whose latency oracle is resolved from the evaluator registry.
+
+        ``latency_oracle`` names any evaluator registered through
+        :func:`repro.nas.latency_eval.register_latency_evaluator` (built-ins:
+        ``"oracle"``, ``"measurement"``, ``"predictor"``).  The deployment
+        scenario (``deploy_num_points``/``deploy_k``/``num_classes``) is taken
+        from ``config``; ``seed`` (defaulting to ``config.seed``) seeds
+        stochastic oracles, and ``predictor``/``predictor_factory`` feed
+        predictor-style ones.
+        """
+        request = EvaluatorRequest(
+            device=device,
+            num_points=config.deploy_num_points,
+            k=config.deploy_k,
+            num_classes=config.num_classes,
+            seed=config.seed if seed is None else seed,
+            predictor=predictor,
+            predictor_factory=predictor_factory,
+        )
+        evaluator = make_latency_evaluator(latency_oracle, request)
+        return cls(config, train_dataset, val_dataset, evaluator, objective=objective, rng=rng, clock=clock)
 
     # ------------------------------------------------------------------ #
     # Helpers

@@ -21,7 +21,6 @@ import numpy as np
 
 from repro.models.gcn import DenseGCN
 from repro.nas.architecture import Architecture
-from repro.nn import functional as F
 from repro.nn.layers import MLP, Module
 from repro.nn.tensor import Tensor, concatenate
 from repro.predictor.arch_graph import ArchitectureGraph, architecture_to_graph

@@ -1,9 +1,9 @@
-"""``repro-serve``: command-line demo of the serving engine.
+"""Deprecated location of the serving CLI — use ``repro serve`` instead.
 
-Deploys the paper's Fig. 10 preset architecture for a chosen device and
-serves a synthetic request stream through the batched, cached engine,
-printing the telemetry report.  Mostly a smoke-test / profiling entry
-point; programmatic users should go through :mod:`repro.api`.
+The ``repro-serve`` console script and this module are kept as back-compat
+aliases for the unified :mod:`repro.cli` entry point: :func:`main` prints a
+deprecation notice on stderr and forwards its arguments verbatim to
+``repro serve``.
 """
 
 from __future__ import annotations
@@ -11,79 +11,26 @@ from __future__ import annotations
 import argparse
 import sys
 
-import numpy as np
-
-from repro.hardware.device import get_device, list_devices
-from repro.nas.presets import device_fast_architecture
-from repro.serving.engine import AdmissionError, EngineConfig, InferenceEngine
-from repro.serving.registry import ModelRegistry
+from repro.cli.main import add_serve_arguments
+from repro.cli.main import main as _cli_main
 
 __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-serve`` argument parser (same flags as ``repro serve``)."""
     parser = argparse.ArgumentParser(
         prog="repro-serve",
-        description="Serve synthetic point-cloud requests through a deployed HGNAS architecture.",
+        description="Deprecated alias of 'repro serve': serve synthetic point-cloud requests.",
     )
-    parser.add_argument("--device", default="jetson-tx2", help=f"target device ({', '.join(list_devices())} or aliases)")
-    parser.add_argument("--requests", type=int, default=64, help="number of synthetic requests")
-    parser.add_argument("--num-points", type=int, default=64, help="points per request cloud")
-    parser.add_argument("--num-classes", type=int, default=10, help="classifier output classes")
-    parser.add_argument("--batch-size", type=int, default=8, help="micro-batch size")
-    parser.add_argument("--repeat-every", type=int, default=4, help="reuse a previous cloud every Nth request (0 disables)")
-    parser.add_argument("--slo-ms", type=float, default=None, help="per-request latency SLO on the target device")
-    parser.add_argument("--no-cache", action="store_true", help="disable result and edge caches")
-    parser.add_argument("--seed", type=int, default=0, help="RNG seed for the synthetic stream")
+    add_serve_arguments(parser)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    try:
-        return _run(args)
-    except (KeyError, ValueError, AdmissionError) as error:
-        message = error.args[0] if error.args else str(error)
-        print(f"repro-serve: error: {message}", file=sys.stderr)
-        return 2
-
-
-def _run(args: argparse.Namespace) -> int:
-    device = get_device(args.device)
-    architecture = device_fast_architecture(device.name)
-
-    registry = ModelRegistry()
-    registry.register(
-        name=f"{architecture.name}-demo",
-        architecture=architecture,
-        device=device,
-        num_classes=args.num_classes,
-        k=8,
-        slo_ms=args.slo_ms,
-    )
-    cache_capacity = 0 if args.no_cache else 512
-    engine = InferenceEngine(
-        registry,
-        EngineConfig(
-            max_batch_size=args.batch_size,
-            result_cache_capacity=cache_capacity,
-            edge_cache_capacity=cache_capacity,
-        ),
-    )
-
-    rng = np.random.default_rng(args.seed)
-    clouds: list[np.ndarray] = []
-    for index in range(args.requests):
-        if args.repeat_every and clouds and index % args.repeat_every == 0:
-            clouds.append(clouds[int(rng.integers(0, len(clouds)))])
-        else:
-            clouds.append(rng.standard_normal((args.num_points, 3)))
-
-    model_name = registry.list()[0]
-    results = engine.submit_many(model_name, clouds)
-    print(f"served {len(results)} requests on {device.display_name} via '{model_name}'")
-    print(engine.format_report())
-    return 0
+    print("repro-serve is deprecated; use 'repro serve' instead.", file=sys.stderr)
+    arguments = sys.argv[1:] if argv is None else list(argv)
+    return _cli_main(["serve", *arguments])
 
 
 if __name__ == "__main__":

@@ -23,6 +23,7 @@ from repro.nas.architecture import Architecture
 from repro.nas.derived import DerivedModel
 from repro.utils.serialization import load_json, load_npz, save_json, save_npz
 from repro.version import __version__
+from repro.defaults import DEFAULTS
 
 __all__ = ["DeployedModel", "ModelRegistry"]
 
@@ -38,9 +39,9 @@ class DeployedModel:
     model: DerivedModel
     device: DeviceSpec
     num_classes: int
-    k: int = 10
-    embed_dim: int = 64
-    seed: int = 0
+    k: int = DEFAULTS.k
+    embed_dim: int = DEFAULTS.embed_dim
+    seed: int = DEFAULTS.seed
     slo_ms: float | None = None
     #: Monotonic per-registry deployment counter; distinguishes successive
     #: deployments under the same name so engine caches never serve results
@@ -91,9 +92,9 @@ class ModelRegistry:
         architecture: Architecture,
         device: DeviceSpec,
         num_classes: int,
-        k: int = 10,
-        embed_dim: int = 64,
-        seed: int = 0,
+        k: int = DEFAULTS.k,
+        embed_dim: int = DEFAULTS.embed_dim,
+        seed: int = DEFAULTS.seed,
         slo_ms: float | None = None,
         model: DerivedModel | None = None,
         replace: bool = False,
@@ -105,7 +106,9 @@ class ModelRegistry:
             architecture: Searched genotype to deploy.
             device: Target device; its cost model drives admission control.
             num_classes: Output classes of the classifier head.
-            k: Neighbourhood size used at inference time.
+            k: Neighbourhood size used at inference time (default: the
+                shared :class:`~repro.workspace.InferenceDefaults`, so the
+                served scenario matches the searched one).
             embed_dim: Classifier-head embedding width.
             seed: Weight-initialisation seed (ignored when ``model`` given).
             slo_ms: Optional per-request latency budget on ``device``.
@@ -131,6 +134,22 @@ class ModelRegistry:
             generation=self._generation,
         )
         self._entries[name] = entry
+        return entry
+
+    def add(self, deployed: DeployedModel, replace: bool = False) -> DeployedModel:
+        """Adopt an existing :class:`DeployedModel` entry wholesale.
+
+        Unlike re-calling :meth:`register` field by field, this preserves
+        every field of the entry (including ones added to
+        :class:`DeployedModel` later) and only stamps a fresh generation so
+        engine caches never serve results computed by a replaced model.
+        """
+        if deployed.name in self._entries and not replace:
+            raise ValueError(f"model '{deployed.name}' already registered (pass replace=True)")
+        self._generation += 1
+        entry = dataclasses.replace(deployed, generation=self._generation)
+        entry.model.eval()
+        self._entries[entry.name] = entry
         return entry
 
     def get(self, name: str) -> DeployedModel:

@@ -1,0 +1,11 @@
+"""Pipeline-facing re-export of the shared inference-scenario defaults.
+
+The actual definitions live in :mod:`repro.defaults`, the lowest layer of
+the package, so that :mod:`repro.nas.latency_eval` and
+:mod:`repro.serving.registry` can draw the same constants without
+importing upward into the workspace package.
+"""
+
+from repro.defaults import DEFAULTS, InferenceDefaults
+
+__all__ = ["InferenceDefaults", "DEFAULTS"]

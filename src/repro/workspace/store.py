@@ -1,0 +1,183 @@
+"""Content-addressed artifact store backing the Workspace pipeline.
+
+Artifacts are keyed by the sha256 of the canonical JSON of their inputs
+(stage name, device spec, stage configuration, seeds, dataset
+fingerprints), so *identical pipeline inputs always map to the same key*
+and a repeated stage call is a cache hit instead of a recomputation.
+
+On-disk layout (when a root directory is given)::
+
+    <root>/<stage>/<key>/meta.json     # JSON: stage, key, payload metadata
+    <root>/<stage>/<key>/arrays.npz    # optional: named weight arrays
+
+Every store also keeps an in-memory layer, so a root-less store (the
+throwaway workspaces behind :mod:`repro.api`) still caches within its own
+lifetime, while a rooted store survives process restarts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.utils.serialization import load_json, load_npz, save_json, save_npz, to_jsonable
+
+__all__ = [
+    "Artifact",
+    "ArtifactStore",
+    "canonical_key",
+    "array_fingerprint",
+    "dataset_fingerprint",
+]
+
+_FORMAT = "repro.workspace.artifact/v1"
+
+
+def canonical_key(payload: object, digits: int = 16) -> str:
+    """Hex digest of the canonical (sorted, compact) JSON form of ``payload``."""
+    blob = json.dumps(to_jsonable(payload), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:digits]
+
+
+def array_fingerprint(arrays: Mapping[str, np.ndarray], digits: int = 16) -> str:
+    """Content hash of a named-array mapping (e.g. a model ``state_dict``)."""
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        value = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(value.dtype).encode("utf-8"))
+        digest.update(str(value.shape).encode("utf-8"))
+        digest.update(value.tobytes())
+    return digest.hexdigest()[:digits]
+
+
+def dataset_fingerprint(dataset, digits: int = 16) -> str:
+    """Content hash of an :class:`~repro.data.dataset.InMemoryDataset`."""
+    digest = hashlib.sha256()
+    digest.update(str(dataset.num_classes).encode("utf-8"))
+    for sample in dataset:
+        digest.update(np.ascontiguousarray(sample.points).tobytes())
+        digest.update(str(sample.label).encode("utf-8"))
+    return digest.hexdigest()[:digits]
+
+
+@dataclass
+class Artifact:
+    """One stored stage result: JSON metadata plus optional weight arrays."""
+
+    stage: str
+    key: str
+    meta: dict
+    arrays: dict[str, np.ndarray] = field(default_factory=dict)
+    path: pathlib.Path | None = None
+
+
+class ArtifactStore:
+    """Two-level (memory + optional disk) content-addressed artifact cache."""
+
+    def __init__(self, root: str | pathlib.Path | None = None):
+        self.root = pathlib.Path(root) if root is not None else None
+        self._memory: dict[tuple[str, str], Artifact] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    def key_for(self, stage: str, inputs: Mapping[str, object]) -> str:
+        """Content key for a stage invocation described by ``inputs``."""
+        return canonical_key({"stage": stage, "inputs": inputs})
+
+    def _entry_dir(self, stage: str, key: str) -> pathlib.Path:
+        assert self.root is not None
+        return self.root / stage / key
+
+    def contains(self, stage: str, key: str) -> bool:
+        """Whether an artifact exists (without counting a hit or a miss)."""
+        if (stage, key) in self._memory:
+            return True
+        return self.root is not None and (self._entry_dir(stage, key) / "meta.json").exists()
+
+    def load(self, stage: str, key: str) -> Artifact | None:
+        """Return the stored artifact, or ``None`` on a cache miss."""
+        memo = self._memory.get((stage, key))
+        if memo is not None:
+            self.hits += 1
+            return memo
+        if self.root is not None:
+            directory = self._entry_dir(stage, key)
+            meta_path = directory / "meta.json"
+            if meta_path.exists():
+                document = load_json(meta_path)
+                if document.get("format") != _FORMAT:
+                    raise ValueError(f"unrecognised artifact format in {meta_path}")
+                arrays_path = directory / "arrays.npz"
+                arrays = load_npz(arrays_path) if arrays_path.exists() else {}
+                artifact = Artifact(stage=stage, key=key, meta=document["meta"], arrays=arrays, path=directory)
+                self._memory[(stage, key)] = artifact
+                self.hits += 1
+                return artifact
+        self.misses += 1
+        return None
+
+    def save(
+        self,
+        stage: str,
+        key: str,
+        meta: Mapping[str, object],
+        arrays: Mapping[str, np.ndarray] | None = None,
+    ) -> Artifact:
+        """Persist a stage result under ``(stage, key)``, overwriting any old entry."""
+        meta = dict(meta)
+        # Copy the arrays so later in-place mutation of live model weights
+        # cannot corrupt the cached artifact.
+        arrays = {name: np.array(value) for name, value in (arrays or {}).items()}
+        path = None
+        if self.root is not None:
+            directory = self._entry_dir(stage, key)
+            # Arrays first, then meta.json committed atomically (temp file +
+            # rename): load() only trusts entries whose meta.json exists, so
+            # an interrupted save can neither read as a cache hit nor leave a
+            # truncated meta.json that poisons the key forever.
+            meta_path = directory / "meta.json"
+            if meta_path.exists():
+                meta_path.unlink()
+            arrays_path = directory / "arrays.npz"
+            if arrays:
+                save_npz(arrays_path, arrays)
+            elif arrays_path.exists():
+                arrays_path.unlink()
+            staging_path = directory / "meta.json.tmp"
+            save_json(staging_path, {"format": _FORMAT, "stage": stage, "key": key, "meta": meta})
+            os.replace(staging_path, meta_path)
+            path = directory
+        artifact = Artifact(stage=stage, key=key, meta=meta, arrays=arrays, path=path)
+        self._memory[(stage, key)] = artifact
+        return artifact
+
+    def discard(self, stage: str, key: str) -> bool:
+        """Drop an artifact from both layers; returns whether anything existed."""
+        existed = self._memory.pop((stage, key), None) is not None
+        if self.root is not None:
+            directory = self._entry_dir(stage, key)
+            for name in ("meta.json", "meta.json.tmp", "arrays.npz"):
+                target = directory / name
+                if target.exists():
+                    target.unlink()
+                    existed = name != "meta.json.tmp" or existed
+            if directory.exists() and not any(directory.iterdir()):
+                directory.rmdir()
+        return existed
+
+    def stats(self) -> dict[str, object]:
+        """Hit/miss counters and the store location."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "memory_entries": len(self._memory),
+            "root": None if self.root is None else str(self.root),
+        }

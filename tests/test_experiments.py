@@ -1,6 +1,5 @@
 """Tests for the experiment drivers (every figure/table of the paper)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

@@ -8,7 +8,6 @@ from repro.hardware import (
     PAPER_TARGETS,
     DeviceMeasurement,
     OpDescriptor,
-    Workload,
     all_devices,
     calibrate_coefficients,
     dgcnn_workload,

@@ -14,7 +14,6 @@ from repro.nas import (
     HGNASConfig,
     MeasurementLatencyEvaluator,
     ObjectiveConfig,
-    OperationType,
     OracleLatencyEvaluator,
     Supernet,
     SupernetConfig,

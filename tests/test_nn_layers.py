@@ -14,7 +14,6 @@ from repro.nn import (
     ExponentialLR,
     Identity,
     LayerNorm,
-    LeakyReLU,
     Linear,
     ReLU,
     Sequential,
