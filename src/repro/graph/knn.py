@@ -46,36 +46,41 @@ def knn_indices(points: np.ndarray, k: int, include_self: bool = False) -> np.nd
 
     Returns:
         Integer array of shape ``(N, k_eff)``; ``k_eff`` may be smaller than
-        ``k`` for tiny clouds.
+        ``k`` for tiny clouds.  Without ``include_self`` the result never
+        contains a point's own index.
+
+    Raises:
+        ValueError: If ``include_self`` is false and the cloud has a single
+            point — it has no valid neighbour, and silently emitting a
+            self-loop would break the no-self-loop contract.
     """
     points = _as_points(points)
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
     n = points.shape[0]
-    max_k = n if include_self else n - 1
-    k_eff = min(k, max(max_k, 1))
-    tree = cKDTree(points)
-    query_k = k_eff if include_self else k_eff + 1
-    query_k = min(query_k, n)
-    _, idx = tree.query(points, k=query_k)
-    idx = np.atleast_2d(idx)
-    if idx.ndim == 1:
-        idx = idx[:, None]
-    if not include_self:
-        # Remove each point from its own neighbour list (it is almost always
-        # the first hit, but duplicate coordinates can shuffle that).
-        cleaned = np.empty((n, k_eff), dtype=np.int64)
-        rows = np.arange(n)
-        for col_target in range(k_eff):
-            cleaned[:, col_target] = -1
-        for i in range(n):
-            neighbours = [j for j in idx[i] if j != i][:k_eff]
-            while len(neighbours) < k_eff:
-                neighbours.append(neighbours[-1] if neighbours else i)
-            cleaned[i] = neighbours
-        _ = rows
-        return cleaned
-    return idx[:, :k_eff].astype(np.int64)
+    if include_self:
+        k_eff = min(k, n)
+        _, idx = cKDTree(points).query(points, k=k_eff, workers=-1)
+        # scipy returns a 1-D array for k=1; reshape covers both layouts.
+        return np.asarray(idx, dtype=np.int64).reshape(n, k_eff)
+    if n == 1:
+        raise ValueError(
+            "cannot build a self-loop-free neighbour list for a single-point cloud "
+            "(pass include_self=True to allow the point as its own neighbour)"
+        )
+    k_eff = min(k, n - 1)
+    # Query one extra neighbour so each row keeps k_eff candidates after the
+    # point itself is dropped.  k_eff + 1 <= n always holds here, so scipy
+    # never pads rows with the out-of-range sentinel index n.
+    _, idx = cKDTree(points).query(points, k=k_eff + 1, workers=-1)
+    idx = np.asarray(idx, dtype=np.int64).reshape(n, k_eff + 1)
+    # Drop each point from its own neighbour list (it is almost always the
+    # first hit, but duplicate coordinates can shuffle or even evict it): a
+    # stable argsort on the self-mask moves the valid entries to the front
+    # while preserving their nearest-first order.
+    not_self = idx != np.arange(n, dtype=np.int64)[:, None]
+    order = np.argsort(~not_self, axis=1, kind="stable")
+    return np.take_along_axis(idx, order, axis=1)[:, :k_eff]
 
 
 def knn_graph(points: np.ndarray, k: int, include_self: bool = False) -> np.ndarray:

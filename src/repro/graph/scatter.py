@@ -68,13 +68,14 @@ def _scatter_extreme(src: Tensor, index: np.ndarray, dim_size: int, mode: str) -
     empty = ~np.isfinite(out)
     out = np.where(empty, 0.0, out)
 
-    # The winners (possibly tied) receive the gradient, split equally.
-    winner_mask = (src.data == out[index]) & ~empty[index]
-    winner_counts = np.zeros((dim_size, src.shape[1]), dtype=np.float64)
-    np.add.at(winner_counts, index, winner_mask.astype(np.float64))
-    winner_counts = np.maximum(winner_counts, 1.0)
-
     def backward_fn(grad: np.ndarray) -> list[np.ndarray]:
+        # The winners (possibly tied) receive the gradient, split equally.
+        # Computed here rather than in the forward pass so inference-only
+        # callers (e.g. batched population scoring) never pay for it.
+        winner_mask = (src.data == out[index]) & ~empty[index]
+        winner_counts = np.zeros((dim_size, src.shape[1]), dtype=np.float64)
+        np.add.at(winner_counts, index, winner_mask.astype(np.float64))
+        winner_counts = np.maximum(winner_counts, 1.0)
         return [winner_mask * (grad / winner_counts)[index]]
 
     return apply_op(out, (src,), backward_fn)

@@ -40,11 +40,18 @@ class DenseGCNLayer(Module):
         """Apply the layer.
 
         Args:
-            x: Node features ``(N, in_dim)``.
-            adj: Dense aggregation operator ``(N, N)`` (e.g. ``A + I``).
+            x: Node features ``(N, in_dim)``, or a padded batch
+                ``(B, M, in_dim)``.
+            adj: Dense aggregation operator ``(N, N)`` (e.g. ``A + I``), or a
+                stacked batch ``(B, M, M)`` applied graph-by-graph.
         """
         adj = np.asarray(adj, dtype=np.float64)
-        if adj.shape != (x.shape[0], x.shape[0]):
+        if adj.ndim == 3:
+            if x.ndim != 3 or adj.shape != (x.shape[0], x.shape[1], x.shape[1]):
+                raise ValueError(
+                    f"batched adjacency shape {adj.shape} incompatible with features {x.shape}"
+                )
+        elif adj.shape != (x.shape[0], x.shape[0]):
             raise ValueError(f"adjacency shape {adj.shape} incompatible with {x.shape[0]} nodes")
         aggregated = Tensor(adj) @ x
         out = self.linear(aggregated)

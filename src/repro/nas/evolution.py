@@ -43,6 +43,18 @@ class EvolutionConfig:
         if self.mutations_per_child <= 0:
             raise ValueError("mutations_per_child must be positive")
 
+    @property
+    def num_parents(self) -> int:
+        """Elite count per generation, clamped to ``population_size - 1``.
+
+        The upper clamp guarantees at least one child per generation: with
+        e.g. ``population_size=2`` and ``parent_fraction=0.5`` the former
+        ``max(2, 1) = 2`` parents left zero slots for children and the
+        search silently never moved past its initial population.
+        """
+        proposed = max(2, int(round(self.parent_fraction * self.population_size)))
+        return min(proposed, self.population_size - 1)
+
 
 @dataclass(frozen=True)
 class HistoryPoint:
@@ -66,7 +78,19 @@ class EvolutionResult(Generic[Genotype]):
 
 
 class EvolutionarySearch(Generic[Genotype]):
-    """Mutation/crossover EA with fitness caching and elitist selection."""
+    """Mutation/crossover EA with fitness caching and elitist selection.
+
+    Fitness is obtained either genotype-by-genotype through ``evaluate`` or
+    — when the caller provides ``evaluate_many`` — in one batched call per
+    generation, which lets vectorized scorers (e.g. the batched latency
+    predictor) amortise their per-call overhead over the whole population.
+    Both paths share the per-genotype fitness cache and advance the clock by
+    ``evaluation_cost_s`` per *uncached* genotype, so the batched search is
+    indistinguishable from the sequential one whenever ``evaluate_many``
+    returns the same scores as mapping ``evaluate`` (note: a batched scorer
+    must not consume this search's ``rng``, because batching reorders
+    evaluation relative to child generation).
+    """
 
     def __init__(
         self,
@@ -79,12 +103,14 @@ class EvolutionarySearch(Generic[Genotype]):
         key: Callable[[Genotype], Hashable] | None = None,
         clock: VirtualClock | None = None,
         evaluation_cost_s: float = 0.0,
+        evaluate_many: Callable[[list[Genotype]], "np.ndarray | list[float]"] | None = None,
     ):
         self.config = config
         self.initialize = initialize
         self.mutate = mutate
         self.crossover = crossover
         self.evaluate_fn = evaluate
+        self.evaluate_many_fn = evaluate_many
         self.key_fn = key if key is not None else (lambda genotype: genotype)
         self.rng = rng
         self.clock = clock if clock is not None else VirtualClock()
@@ -102,6 +128,54 @@ class EvolutionarySearch(Generic[Genotype]):
         self.evaluations += 1
         self.clock.advance(self.evaluation_cost_s)
         return score
+
+    def _evaluate_batch(self, genotypes: list[Genotype]) -> list[float]:
+        """Score ``genotypes`` through one ``evaluate_many`` call.
+
+        Duplicate and already-cached genotypes are evaluated at most once
+        (matching the sequential cache semantics); the clock advances by
+        ``evaluation_cost_s`` per uncached genotype.
+        """
+        keys = [self.key_fn(genotype) for genotype in genotypes]
+        pending: dict[Hashable, Genotype] = {}
+        for cache_key, genotype in zip(keys, genotypes):
+            if cache_key not in self._cache and cache_key not in pending:
+                pending[cache_key] = genotype
+        if pending:
+            batch = list(pending.values())
+            scores = np.asarray(self.evaluate_many_fn(batch), dtype=np.float64)
+            if scores.shape != (len(batch),):
+                raise ValueError(
+                    f"evaluate_many returned shape {scores.shape} for {len(batch)} genotypes"
+                )
+            for cache_key, score in zip(pending, scores):
+                self._cache[cache_key] = float(score)
+                self.evaluations += 1
+                # One advance per genotype (not one multiplied advance):
+                # float addition is order-sensitive, and the sequential path
+                # accumulates the cost term by term.
+                self.clock.advance(self.evaluation_cost_s)
+        return [self._cache[cache_key] for cache_key in keys]
+
+    def _spawn_and_score(
+        self, count: int, spawn: Callable[[], Genotype]
+    ) -> list[tuple[Genotype, float]]:
+        """Generate ``count`` genotypes and score them.
+
+        Without ``evaluate_many`` this interleaves generation and evaluation
+        exactly like the historical sequential loop (an ``evaluate`` that
+        draws from the shared ``rng`` therefore sees an unchanged stream);
+        with it, the whole cohort is generated first and scored in one
+        batched call.
+        """
+        if self.evaluate_many_fn is None:
+            scored = []
+            for _ in range(count):
+                genotype = spawn()
+                scored.append((genotype, self._evaluate(genotype)))
+            return scored
+        genotypes = [spawn() for _ in range(count)]
+        return list(zip(genotypes, self._evaluate_batch(genotypes)))
 
     def _make_child(self, parents: list[tuple[Genotype, float]]) -> Genotype:
         first = parents[int(self.rng.integers(0, len(parents)))][0]
@@ -128,10 +202,9 @@ class EvolutionarySearch(Generic[Genotype]):
         """
         if iterations <= 0:
             raise ValueError("iterations must be positive")
-        population: list[tuple[Genotype, float]] = []
-        for _ in range(self.config.population_size):
-            genotype = self.initialize(self.rng)
-            population.append((genotype, self._evaluate(genotype)))
+        population = self._spawn_and_score(
+            self.config.population_size, lambda: self.initialize(self.rng)
+        )
         population.sort(key=lambda item: item[1], reverse=True)
         history = [
             HistoryPoint(
@@ -142,13 +215,11 @@ class EvolutionarySearch(Generic[Genotype]):
             )
         ]
 
-        num_parents = max(2, int(round(self.config.parent_fraction * self.config.population_size)))
+        num_parents = self.config.num_parents
+        num_children = self.config.population_size - num_parents
         for iteration in range(1, iterations + 1):
             parents = population[:num_parents]
-            children: list[tuple[Genotype, float]] = []
-            while len(children) < self.config.population_size - num_parents:
-                child = self._make_child(parents)
-                children.append((child, self._evaluate(child)))
+            children = self._spawn_and_score(num_children, lambda: self._make_child(parents))
             population = parents + children
             population.sort(key=lambda item: item[1], reverse=True)
             history.append(

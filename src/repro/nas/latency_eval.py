@@ -42,6 +42,7 @@ __all__ = [
     "OracleLatencyEvaluator",
     "MeasurementLatencyEvaluator",
     "EvaluatorRequest",
+    "evaluate_latencies",
     "register_latency_evaluator",
     "unregister_latency_evaluator",
     "list_latency_evaluators",
@@ -50,13 +51,40 @@ __all__ = [
 
 
 class LatencyEvaluator(Protocol):
-    """Interface of a latency oracle used by the search."""
+    """Interface of a latency oracle used by the search.
+
+    Evaluators may additionally expose ``evaluate_many(architectures) ->
+    array of ms`` for vectorized population scoring;
+    :func:`evaluate_latencies` dispatches to it when present and must return
+    the same floats as mapping :meth:`evaluate`.
+    """
 
     query_cost_s: float
 
     def evaluate(self, architecture: Architecture) -> float:
         """Return the estimated/measured latency of ``architecture`` in ms."""
         ...
+
+
+def evaluate_latencies(evaluator: LatencyEvaluator, architectures: list[Architecture]) -> np.ndarray:
+    """Latencies (ms) of several architectures through one evaluator.
+
+    Uses the evaluator's batched ``evaluate_many`` fast path when it has
+    one, falling back to sequential :meth:`~LatencyEvaluator.evaluate`
+    calls; either way the result is ordered like ``architectures``.
+    """
+    if not architectures:
+        return np.zeros(0, dtype=np.float64)
+    evaluate_many = getattr(evaluator, "evaluate_many", None)
+    if callable(evaluate_many):
+        latencies = np.asarray(evaluate_many(architectures), dtype=np.float64)
+        if latencies.shape != (len(architectures),):
+            raise ValueError(
+                f"evaluate_many returned shape {latencies.shape} "
+                f"for {len(architectures)} architectures"
+            )
+        return latencies
+    return np.array([float(evaluator.evaluate(arch)) for arch in architectures], dtype=np.float64)
 
 
 @dataclass

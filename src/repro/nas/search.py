@@ -30,7 +30,12 @@ from repro.data.dataset import InMemoryDataset
 from repro.nas.architecture import Architecture
 from repro.nas.design_space import DesignSpace, DesignSpaceConfig
 from repro.nas.evolution import EvolutionConfig, EvolutionarySearch, HistoryPoint
-from repro.nas.latency_eval import EvaluatorRequest, LatencyEvaluator, make_latency_evaluator
+from repro.nas.latency_eval import (
+    EvaluatorRequest,
+    LatencyEvaluator,
+    evaluate_latencies,
+    make_latency_evaluator,
+)
 from repro.nas.objective import ObjectiveConfig, hardware_constrained_score
 from repro.nas.ops import FunctionSet, mutate_function_set, random_function_set
 from repro.nas.supernet import Supernet, SupernetConfig
@@ -82,6 +87,10 @@ class HGNASConfig:
     epoch_cost_s: float = 30.0
     accuracy_eval_cost_s: float = 1.0
     seed: int = 0
+    # Score each generation's cohort through the latency evaluator's batched
+    # fast path (one fused forward for predictor-style oracles).  Results are
+    # identical to the sequential path; disable only to compare the two.
+    batched_evaluation: bool = True
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
@@ -165,6 +174,11 @@ class HGNAS:
         )
         self._accuracy_cache: dict[tuple, float] = {}
         self._latency_cache: dict[tuple, float] = {}
+        # Latencies computed by a batched query but not yet "paid for":
+        # _latency() charges the clock when each one is first consumed, so
+        # the clock sees the same sequence of additions as sequential
+        # evaluation (summation order matters for float equality).
+        self._prefetched_latencies: dict[tuple, float] = {}
 
     @classmethod
     def for_device(
@@ -242,9 +256,37 @@ class HGNAS:
     def _latency(self, architecture: Architecture) -> float:
         key = architecture.key()
         if key not in self._latency_cache:
-            self._latency_cache[key] = float(self.latency_evaluator.evaluate(architecture))
+            if key in self._prefetched_latencies:
+                self._latency_cache[key] = self._prefetched_latencies.pop(key)
+            else:
+                self._latency_cache[key] = float(self.latency_evaluator.evaluate(architecture))
             self.clock.advance(self.latency_evaluator.query_cost_s)
         return self._latency_cache[key]
+
+    def _latency_many(self, architectures: list[Architecture]) -> None:
+        """Prefetch latencies for ``architectures`` in one batched query.
+
+        Unknown architectures (first occurrence wins, so stochastic
+        evaluators draw noise in the same order as the sequential path) are
+        scored through :func:`evaluate_latencies`.  The clock is *not*
+        advanced here — :meth:`_latency` charges ``query_cost_s`` when each
+        prefetched value is first consumed, preserving the sequential
+        path's exact interleaving of clock additions.
+        """
+        pending: dict[tuple, Architecture] = {}
+        for architecture in architectures:
+            key = architecture.key()
+            if (
+                key not in self._latency_cache
+                and key not in self._prefetched_latencies
+                and key not in pending
+            ):
+                pending[key] = architecture
+        if not pending:
+            return
+        latencies = evaluate_latencies(self.latency_evaluator, list(pending.values()))
+        for key, latency in zip(pending, latencies):
+            self._prefetched_latencies[key] = float(latency)
 
     def _objective(self, supernet: Supernet, architecture: Architecture) -> float:
         latency_ms = self._latency(architecture)
@@ -254,6 +296,21 @@ class HGNAS:
             return 0.0
         accuracy = self._path_accuracy(supernet, architecture)
         return hardware_constrained_score(accuracy, latency_ms, self.objective)
+
+    def _objective_many(self, supernet: Supernet, architectures: list[Architecture]) -> np.ndarray:
+        """Eq. 3 scores for a whole cohort, latencies batched up front.
+
+        Latency queries are fused into one :meth:`_latency_many` call (the
+        big win with the GNN predictor oracle); accuracy evaluations keep
+        their per-architecture cache-and-clock flow, and constraint
+        violators are still rejected without an accuracy evaluation, so the
+        scores and clock total match the sequential path exactly.
+        """
+        self._latency_many(architectures)
+        return np.array(
+            [self._objective(supernet, architecture) for architecture in architectures],
+            dtype=np.float64,
+        )
 
     # ------------------------------------------------------------------ #
     # Stage 1: function search
@@ -319,6 +376,9 @@ class HGNAS:
         def evaluate(architecture: Architecture) -> float:
             return self._objective(supernet, architecture)
 
+        def evaluate_many(architectures: list[Architecture]) -> np.ndarray:
+            return self._objective_many(supernet, architectures)
+
         search = EvolutionarySearch(
             EvolutionConfig(population_size=self.config.population_size),
             initialize=initialize,
@@ -328,6 +388,7 @@ class HGNAS:
             key=lambda arch: arch.key(),
             rng=self.rng,
             clock=self.clock,
+            evaluate_many=evaluate_many if self.config.batched_evaluation else None,
         )
         result = search.run(self.config.operation_iterations)
         return result.best, result.best_score, result.history, result.evaluations
@@ -398,6 +459,9 @@ class HGNAS:
         def evaluate(architecture: Architecture) -> float:
             return self._objective(supernet, architecture)
 
+        def evaluate_many(architectures: list[Architecture]) -> np.ndarray:
+            return self._objective_many(supernet, architectures)
+
         search = EvolutionarySearch(
             EvolutionConfig(population_size=self.config.population_size),
             initialize=initialize,
@@ -407,6 +471,7 @@ class HGNAS:
             key=lambda arch: arch.key(),
             rng=self.rng,
             clock=self.clock,
+            evaluate_many=evaluate_many if self.config.batched_evaluation else None,
         )
         result = search.run(iterations)
         best = result.best

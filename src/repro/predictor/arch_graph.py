@@ -10,6 +10,7 @@ neighbourhood, density) are encoded into its features.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 import networkx as nx
@@ -28,6 +29,31 @@ from repro.predictor.encoding import (
 )
 
 __all__ = ["ArchitectureGraph", "architecture_to_graph"]
+
+
+@functools.lru_cache(maxsize=8)
+def _terminal_row(kind: str) -> np.ndarray:
+    """Constant node-type rows for the input/output terminals."""
+    return encode_terminal_node(kind)
+
+
+@functools.lru_cache(maxsize=8192)
+def _op_node_rows(op, num_points: int, k: int) -> tuple[np.ndarray, np.ndarray, tuple[float, float, float]]:
+    """Memoised per-operation encoding.
+
+    Population-scale evaluation encodes thousands of architectures drawn from
+    a small discrete op space, so the per-op feature row, cost row and cost
+    quantities repeat constantly; :class:`EffectiveOp` is frozen/hashable,
+    and the encoding is a pure function of ``(op, num_points, k)``.  The
+    cached arrays are copied into fresh matrices by ``np.stack`` below and
+    must not be mutated by callers.
+    """
+    quantities = lower_op(effective_op_to_descriptor(op, num_points, k))
+    return (
+        encode_operation_node(op),
+        encode_cost_features(quantities.flops, quantities.irregular_bytes, quantities.knn_pair_dims),
+        (quantities.flops, quantities.irregular_bytes, quantities.knn_pair_dims),
+    )
 
 
 @dataclass(frozen=True)
@@ -77,41 +103,39 @@ def architecture_to_graph(
         feature matrix and node labels.
     """
     ops = architecture.effective_ops()
-    labels: list[str] = ["input"]
-    features: list[np.ndarray] = [encode_terminal_node("input")]
-    cost_rows: list[np.ndarray] = [np.zeros(COST_FEATURE_DIM)]
-    cost_totals = np.zeros(3, dtype=np.float64)
-    for op in ops:
-        labels.append(op.describe())
-        features.append(encode_operation_node(op))
-        quantities = lower_op(effective_op_to_descriptor(op, num_points, k))
-        cost_rows.append(
-            encode_cost_features(quantities.flops, quantities.irregular_bytes, quantities.knn_pair_dims)
-        )
-        cost_totals += (quantities.flops, quantities.irregular_bytes, quantities.knn_pair_dims)
-    labels.append("output")
-    features.append(encode_terminal_node("output"))
-    cost_rows.append(np.zeros(COST_FEATURE_DIM))
-
-    num_chain = len(labels)
+    num_chain = len(ops) + 2
     num_nodes = num_chain + (1 if include_global_node else 0)
+    base_dim = FEATURE_DIM - COST_FEATURE_DIM
+
+    # Rows are written straight into the preallocated matrix (layout:
+    # node-type + function columns, then the cost columns) — this is the
+    # hottest allocation site of population-scale evaluation.
+    feature_matrix = np.zeros((num_nodes, FEATURE_DIM), dtype=np.float64)
+    labels: list[str] = ["input"]
+    feature_matrix[0, :base_dim] = _terminal_row("input")
+    cost_totals = np.zeros(3, dtype=np.float64)
+    for row, op in enumerate(ops, start=1):
+        labels.append(op.describe())
+        feature_row, cost_row, quantities = _op_node_rows(op, num_points, k)
+        feature_matrix[row, :base_dim] = feature_row
+        feature_matrix[row, base_dim:] = cost_row
+        cost_totals += quantities
+    labels.append("output")
+    feature_matrix[num_chain - 1, :base_dim] = _terminal_row("output")
+
     adjacency = np.zeros((num_nodes, num_nodes), dtype=np.float64)
     # Dataflow edges along the chain: A[target, source] = 1.
-    for index in range(num_chain - 1):
-        adjacency[index + 1, index] = 1.0
+    chain = np.arange(num_chain - 1)
+    adjacency[chain + 1, chain] = 1.0
 
     if include_global_node:
         labels.append("global")
-        features.append(encode_global_node(num_points, k, len(ops)))
-        cost_rows.append(encode_cost_features(*cost_totals))
         global_index = num_nodes - 1
-        for index in range(num_chain):
-            adjacency[global_index, index] = 1.0
-            adjacency[index, global_index] = 1.0
+        feature_matrix[global_index, :base_dim] = encode_global_node(num_points, k, len(ops))
+        feature_matrix[global_index, base_dim:] = encode_cost_features(*cost_totals)
+        adjacency[global_index, :num_chain] = 1.0
+        adjacency[:num_chain, global_index] = 1.0
 
-    feature_matrix = np.concatenate([np.stack(features, axis=0), np.stack(cost_rows, axis=0)], axis=1)
-    if feature_matrix.shape[1] != FEATURE_DIM:
-        raise RuntimeError("inconsistent node feature width")
     return ArchitectureGraph(
         adjacency=adjacency,
         features=feature_matrix,

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.nas.architecture import Architecture
 from repro.predictor.model import LatencyPredictor
 
@@ -26,3 +28,7 @@ class PredictorLatencyEvaluator:
     def evaluate(self, architecture: Architecture) -> float:
         """Predicted latency of ``architecture`` in milliseconds."""
         return float(self.predictor.predict_latency_ms(architecture))
+
+    def evaluate_many(self, architectures: list[Architecture]) -> np.ndarray:
+        """Batched predictions: one fused GCN+MLP forward for the whole list."""
+        return np.asarray(self.predictor.predict_many(architectures), dtype=np.float64)

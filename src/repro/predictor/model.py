@@ -24,6 +24,7 @@ from repro.nas.architecture import Architecture
 from repro.nn.layers import MLP, Module
 from repro.nn.tensor import Tensor, concatenate
 from repro.predictor.arch_graph import ArchitectureGraph, architecture_to_graph
+from repro.predictor.batch import predict_latencies
 from repro.predictor.encoding import FEATURE_DIM
 
 __all__ = ["PredictorConfig", "LatencyPredictor"]
@@ -112,18 +113,40 @@ class LatencyPredictor(Module):
             include_global_node=self.config.include_global_node,
         )
 
+    def denormalize_to_ms(self, standardised: "float | np.ndarray") -> "np.floating | np.ndarray":
+        """Map standardised log1p-latency network outputs to milliseconds.
+
+        The single post-processing definition shared by the sequential and
+        batched prediction paths — their bit-exact equivalence depends on
+        applying the identical denormalisation and clamp.  Latency is
+        strictly positive; the log prediction is clamped away from 0 so
+        downstream ratios and objective terms stay well defined.
+        """
+        log_latency = standardised * self.target_std + self.target_mean
+        return np.expm1(np.clip(log_latency, 1e-3, 30.0))
+
     def predict_from_graph(self, graph: ArchitectureGraph) -> float:
         """Predict the latency (in milliseconds) for an encoded graph."""
-        standardised = self.forward_graph(graph).item()
-        log_latency = standardised * self.target_std + self.target_mean
-        # Latency is strictly positive; clamp the log prediction away from 0
-        # so downstream ratios and objective terms stay well defined.
-        return float(np.expm1(np.clip(log_latency, 1e-3, 30.0)))
+        return float(self.denormalize_to_ms(self.forward_graph(graph).item()))
 
     def predict_latency_ms(self, architecture: Architecture) -> float:
         """Predict the latency (in milliseconds) of an architecture."""
         return self.predict_from_graph(self.encode(architecture))
 
+    def predict_many_graphs(self, graphs: list[ArchitectureGraph]) -> np.ndarray:
+        """Latency predictions (ms) for several encoded graphs in one forward.
+
+        The graphs are padded into one batch (see
+        :mod:`repro.predictor.batch`) and scored with a single GCN + MLP
+        forward; the result is bit-identical to mapping
+        :meth:`predict_from_graph` over ``graphs``.
+        """
+        return predict_latencies(self, graphs)
+
     def predict_many(self, architectures: list[Architecture]) -> np.ndarray:
-        """Vector of latency predictions for several architectures."""
-        return np.array([self.predict_latency_ms(arch) for arch in architectures])
+        """Vector of latency predictions for several architectures.
+
+        Encoding stays per-architecture (memoised per operation), but the
+        forward passes are fused into one batched evaluation.
+        """
+        return self.predict_many_graphs([self.encode(arch) for arch in architectures])

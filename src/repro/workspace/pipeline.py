@@ -286,6 +286,7 @@ class Workspace:
         strategy: str = "multi-stage",
         predictor_num_samples: int = 200,
         predictor_epochs: int = 40,
+        batched_evaluation: bool | None = None,
         fresh: bool = False,
     ) -> SearchResult:
         """Run (or load the cached) hardware-aware search for this device.
@@ -293,9 +294,12 @@ class Workspace:
         ``latency_oracle`` names any registered evaluator; with
         ``"predictor"`` and no explicit ``predictor``, the workspace's own
         (cached) :meth:`train_predictor` supplies one, trained with
-        ``predictor_num_samples``/``predictor_epochs``.  Results are keyed
-        by device, search config, oracle, strategy, seed and dataset
-        fingerprints, so the genotype and its history survive restarts.
+        ``predictor_num_samples``/``predictor_epochs``.
+        ``batched_evaluation`` overrides the config's population-scoring
+        path (batched fast path vs sequential; the results are identical).
+        Results are keyed by device, search config, oracle, strategy, seed
+        and dataset fingerprints, so the genotype and its history survive
+        restarts.
         """
         seed = self.defaults.seed if seed is None else seed
         oracle = latency_oracle.strip().lower()
@@ -306,15 +310,25 @@ class Workspace:
         if strategy not in ("multi-stage", "one-stage"):
             raise ValueError(f"unknown search strategy '{strategy}' (use 'multi-stage' or 'one-stage')")
         config = config or HGNASConfig(num_classes=train_dataset.num_classes, seed=seed)
+        if batched_evaluation is not None and batched_evaluation != config.batched_evaluation:
+            config = dataclasses.replace(config, batched_evaluation=batched_evaluation)
         # Any evaluator (including custom ones) may consult the workspace's
         # predictor factory when no explicit predictor is given, so the
         # factory's knobs are part of the result's identity in that case.
         may_use_workspace_predictor = predictor is None
+        # The evaluation path (batched vs sequential) is excluded from the
+        # key: it is bit-identical by contract, so both produce the same
+        # artifact (and pre-existing cached results keep their identity).
+        config_key = {
+            field: value
+            for field, value in dataclasses.asdict(config).items()
+            if field != "batched_evaluation"
+        }
         key = self.store.key_for(
             "search",
             {
                 "device": self._device_key(),
-                "config": dataclasses.asdict(config),
+                "config": config_key,
                 "oracle": oracle,
                 "strategy": strategy,
                 "seed": seed,
