@@ -1,0 +1,115 @@
+"""Float32 compute policy + fused message-passing kernels: speedup and parity.
+
+The acceptance claims of the dtype/fusion work, quantified:
+
+* an end-to-end inference forward of DGCNN **and** of a searched derived
+  model is at least 1.5x faster under the float32 default with the fused
+  CSR/reduceat kernels than under the float64 materialized baseline (the
+  seed configuration);
+* the speedup does not change what the models predict: float32+fused logits
+  match the float64 baseline to float32 precision and the top-1
+  classification accuracy on the synthetic eval set is identical within a
+  small tolerance;
+* within a fixed dtype the fused path is numerically interchangeable with
+  the materialized path (allclose logits), so serving results do not depend
+  on which kernel executed them.
+
+Both models run the same eval batches; timings are best-of-N to suppress
+scheduler noise, mirroring ``bench_batched_eval.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.data.dataset import Batch, collate
+from repro.data.synthetic_modelnet import make_synthetic_modelnet
+from repro.graph.fused import use_fused_kernels
+from repro.models.dgcnn import DGCNN, DGCNNConfig
+from repro.nas.derived import DerivedModel
+from repro.nas.presets import device_fast_architecture
+from repro.nn.dtype import default_dtype
+from repro.nn.loss import accuracy
+from repro.nn.tensor import no_grad
+
+MIN_SPEEDUP = 1.5
+ROUNDS = 5
+NUM_CLASSES = 6
+NUM_POINTS = 256
+EVAL_CLOUDS = 8
+K = 16
+
+
+def _build(dtype: str) -> tuple[DGCNN, DerivedModel, Batch]:
+    """Models + eval batch constructed entirely under ``dtype``."""
+    with default_dtype(dtype):
+        _, val_set = make_synthetic_modelnet(
+            num_classes=NUM_CLASSES, samples_per_class=4, num_points=NUM_POINTS, seed=0
+        )
+        dgcnn = DGCNN(DGCNNConfig(num_classes=NUM_CLASSES, k=K, layer_dims=(32, 32, 64)))
+        derived = DerivedModel(device_fast_architecture("jetson-tx2"), num_classes=NUM_CLASSES, k=K)
+        batch = collate([val_set[i] for i in range(EVAL_CLOUDS)])
+    return dgcnn.eval(), derived.eval(), batch
+
+
+def _best_of(fn, rounds: int = ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_float32_fused_speedup_and_parity(benchmark):
+    """float32+fused inference: >=1.5x the float64 baseline, same answers."""
+    dgcnn64, derived64, batch64 = _build("float64")
+    dgcnn32, derived32, batch32 = _build("float32")
+
+    with no_grad():
+        # The two dtype pipelines share the seed, so the float32 weights and
+        # data are rounded copies of the float64 ones.
+        with use_fused_kernels(False):
+            logits64_dgcnn = dgcnn64(batch64).numpy()
+            logits64_derived = derived64(batch64).numpy()
+            baseline_dgcnn_s = _best_of(lambda: dgcnn64(batch64))
+            baseline_derived_s = _best_of(lambda: derived64(batch64))
+        with use_fused_kernels(True):
+            logits32_dgcnn = dgcnn32(batch32).numpy()
+            logits32_derived = derived32(batch32).numpy()
+            fused_dgcnn_s = _best_of(lambda: dgcnn32(batch32))
+            fused_derived_s = _best_of(lambda: derived32(batch32))
+            benchmark.pedantic(lambda: derived32(batch32), rounds=3, iterations=1)
+            # Within one dtype, fused and materialized are interchangeable.
+            with use_fused_kernels(False):
+                logits32_materialized = derived32(batch32).numpy()
+
+    assert logits32_dgcnn.dtype == np.float32 and logits64_dgcnn.dtype == np.float64
+    np.testing.assert_allclose(logits32_materialized, logits32_derived, rtol=1e-4, atol=1e-4)
+    np.testing.assert_allclose(logits32_dgcnn, logits64_dgcnn, rtol=5e-3, atol=5e-3)
+    np.testing.assert_allclose(logits32_derived, logits64_derived, rtol=5e-3, atol=5e-3)
+
+    labels = batch64.labels
+    acc64 = accuracy(logits64_dgcnn, labels), accuracy(logits64_derived, labels)
+    acc32 = accuracy(logits32_dgcnn, labels), accuracy(logits32_derived, labels)
+    assert abs(acc64[0] - acc32[0]) <= 1e-9, "DGCNN top-1 accuracy diverged under float32"
+    assert abs(acc64[1] - acc32[1]) <= 1e-9, "derived-model top-1 accuracy diverged under float32"
+
+    dgcnn_speedup = baseline_dgcnn_s / fused_dgcnn_s
+    derived_speedup = baseline_derived_s / fused_derived_s
+    benchmark.extra_info["dgcnn_baseline_ms"] = round(baseline_dgcnn_s * 1e3, 2)
+    benchmark.extra_info["dgcnn_fused_ms"] = round(fused_dgcnn_s * 1e3, 2)
+    benchmark.extra_info["dgcnn_speedup"] = round(dgcnn_speedup, 2)
+    benchmark.extra_info["derived_baseline_ms"] = round(baseline_derived_s * 1e3, 2)
+    benchmark.extra_info["derived_fused_ms"] = round(fused_derived_s * 1e3, 2)
+    benchmark.extra_info["derived_speedup"] = round(derived_speedup, 2)
+    benchmark.extra_info["accuracy"] = acc32[0]
+
+    assert dgcnn_speedup >= MIN_SPEEDUP, (
+        f"float32+fused DGCNN forward only {dgcnn_speedup:.2f}x faster than float64 baseline"
+    )
+    assert derived_speedup >= MIN_SPEEDUP, (
+        f"float32+fused derived-model forward only {derived_speedup:.2f}x faster than float64 baseline"
+    )

@@ -5,7 +5,9 @@ Neural Network Automated Design for Edge Computing Platforms"* (HGNAS,
 DAC 2023) on top of a pure-numpy substrate:
 
 * :mod:`repro.nn` -- a small reverse-mode autograd engine with the layers,
-  optimisers and losses needed to train GNNs.
+  optimisers and losses needed to train GNNs; computes in float32 by
+  default under the :mod:`repro.nn.dtype` policy (``default_dtype`` opts a
+  scope into float64 for bit-exact reproduction).
 * :mod:`repro.graph` -- point-cloud graph operations (KNN graphs, scatter
   aggregation, message construction).
 * :mod:`repro.data` -- a synthetic ModelNet-style point-cloud classification
@@ -55,6 +57,10 @@ _LAZY_EXPORTS = {
     "Workspace": "repro.workspace",
     "InferenceDefaults": "repro.workspace",
     "ArtifactStore": "repro.workspace",
+    "get_default_dtype": "repro.nn.dtype",
+    "set_default_dtype": "repro.nn.dtype",
+    "default_dtype": "repro.nn.dtype",
+    "use_fused_kernels": "repro.graph.fused",
     "register_device": "repro.hardware.device",
     "unregister_device": "repro.hardware.device",
     "get_device": "repro.hardware.device",

@@ -27,6 +27,7 @@ from repro.nas.latency_eval import list_latency_evaluators
 from repro.nas.presets import device_acc_architecture, device_fast_architecture, dgcnn_architecture
 from repro.nas.search import HGNASConfig
 from repro.nas.visualize import render_architecture
+from repro.nn.dtype import default_dtype
 from repro.serving.engine import AdmissionError, EngineConfig
 from repro.workspace import Workspace
 
@@ -172,6 +173,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
 def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
     """Attach the serve-stream flags (shared with the legacy ``repro-serve``)."""
     _add_common_arguments(parser)
+    parser.add_argument(
+        "--dtype",
+        choices=("float32", "float64"),
+        default="float32",
+        help="compute dtype for the deployed model and request stream (default: float32)",
+    )
     parser.add_argument("--requests", type=int, default=64, help="number of synthetic requests")
     parser.add_argument("--num-points", type=int, default=64, help="points per request cloud")
     parser.add_argument("--num-classes", type=int, default=10, help="classifier output classes")
@@ -184,6 +191,11 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    with default_dtype(args.dtype):
+        return _serve_stream(args)
+
+
+def _serve_stream(args: argparse.Namespace) -> int:
     workspace = Workspace(device=args.device, root=args.root)
     architecture = device_fast_architecture(workspace.device.name)
     deployed = workspace.deploy(
@@ -209,7 +221,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             clouds.append(rng.standard_normal((args.num_points, 3)))
 
     report = workspace.serve(clouds, name=deployed.name, config=engine_config)
-    print(f"served {len(report.results)} requests on {workspace.device.display_name} via '{deployed.name}'")
+    print(
+        f"served {len(report.results)} requests ({args.dtype}) on "
+        f"{workspace.device.display_name} via '{deployed.name}'"
+    )
     print(report.engine.format_report())
     return 0
 

@@ -13,6 +13,8 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro.nn.dtype import get_default_dtype
+
 __all__ = ["PointCloudSample", "Batch", "InMemoryDataset", "DataLoader", "collate"]
 
 
@@ -25,7 +27,9 @@ class PointCloudSample:
     name: str = ""
 
     def __post_init__(self) -> None:
-        self.points = np.asarray(self.points, dtype=np.float64)
+        # Datasets are a data *entry point*: raw clouds are coerced to the
+        # default compute dtype (float32 unless the policy says otherwise).
+        self.points = np.asarray(self.points, dtype=get_default_dtype())
         if self.points.ndim != 2 or self.points.shape[1] != 3:
             raise ValueError(f"points must have shape (N, 3), got {self.points.shape}")
         self.label = int(self.label)

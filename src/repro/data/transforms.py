@@ -6,6 +6,8 @@ from typing import Callable, Iterable
 
 import numpy as np
 
+from repro.nn.dtype import as_float_array
+
 __all__ = [
     "normalize_unit_sphere",
     "random_rotate_z",
@@ -19,7 +21,7 @@ Transform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
 
 
 def _check_points(points: np.ndarray) -> np.ndarray:
-    points = np.asarray(points, dtype=np.float64)
+    points = as_float_array(points)
     if points.ndim != 2 or points.shape[1] != 3:
         raise ValueError(f"points must have shape (N, 3), got {points.shape}")
     return points

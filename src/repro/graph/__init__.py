@@ -10,6 +10,16 @@ from repro.graph.batching import (
     pack_clouds,
     unpack_clouds,
 )
+from repro.graph.fused import (
+    FUSED_MESSAGE_TYPES,
+    fused_aggregate,
+    fused_edgeconv,
+    fused_kernels_enabled,
+    linearize_mlp,
+    set_fused_kernels,
+    supports_fused,
+    use_fused_kernels,
+)
 from repro.graph.edge_index import (
     add_self_loops,
     coalesce,
@@ -29,6 +39,7 @@ from repro.graph.scatter import (
     scatter_mean,
     scatter_min,
     scatter_sum,
+    validate_index,
 )
 
 __all__ = [
@@ -65,4 +76,13 @@ __all__ = [
     "scatter_mean",
     "scatter_max",
     "scatter_min",
+    "validate_index",
+    "FUSED_MESSAGE_TYPES",
+    "fused_aggregate",
+    "fused_edgeconv",
+    "fused_kernels_enabled",
+    "linearize_mlp",
+    "set_fused_kernels",
+    "supports_fused",
+    "use_fused_kernels",
 ]

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.edge_index import validate_edge_index
+from repro.nn.dtype import as_float_array, get_default_dtype
 
 __all__ = ["edges_to_dense", "gcn_normalize", "sum_aggregation_matrix"]
 
@@ -26,7 +27,7 @@ def edges_to_dense(edge_index: np.ndarray, num_nodes: int, symmetric: bool = Fal
         symmetric: Whether to also add the transposed entries.
     """
     edge_index = validate_edge_index(edge_index, num_nodes)
-    adj = np.zeros((num_nodes, num_nodes), dtype=np.float64)
+    adj = np.zeros((num_nodes, num_nodes), dtype=get_default_dtype())
     adj[edge_index[1], edge_index[0]] = 1.0
     if symmetric:
         adj = np.maximum(adj, adj.T)
@@ -41,11 +42,11 @@ def gcn_normalize(adj: np.ndarray, add_self_loops: bool = True, eps: float = 1e-
         add_self_loops: Whether to add the identity before normalising.
         eps: Numerical floor for degrees.
     """
-    adj = np.asarray(adj, dtype=np.float64)
+    adj = as_float_array(adj)
     if adj.ndim != 2 or adj.shape[0] != adj.shape[1]:
         raise ValueError(f"adjacency must be square, got shape {adj.shape}")
     if add_self_loops:
-        adj = adj + np.eye(adj.shape[0])
+        adj = adj + np.eye(adj.shape[0], dtype=adj.dtype)
     degrees = adj.sum(axis=1)
     inv_sqrt = 1.0 / np.sqrt(np.maximum(degrees, eps))
     return adj * inv_sqrt[:, None] * inv_sqrt[None, :]
@@ -53,9 +54,9 @@ def gcn_normalize(adj: np.ndarray, add_self_loops: bool = True, eps: float = 1e-
 
 def sum_aggregation_matrix(adj: np.ndarray, add_self_loops: bool = True) -> np.ndarray:
     """Plain sum-aggregation operator ``A + I`` (the paper's predictor uses sum)."""
-    adj = np.asarray(adj, dtype=np.float64)
+    adj = as_float_array(adj)
     if adj.ndim != 2 or adj.shape[0] != adj.shape[1]:
         raise ValueError(f"adjacency must be square, got shape {adj.shape}")
     if add_self_loops:
-        return adj + np.eye(adj.shape[0])
+        return adj + np.eye(adj.shape[0], dtype=adj.dtype)
     return adj.copy()

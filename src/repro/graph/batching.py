@@ -15,6 +15,7 @@ import numpy as np
 from repro.graph.knn import knn_graph
 from repro.graph.sampling import random_graph
 from repro.graph.scatter import scatter_max, scatter_mean, scatter_sum
+from repro.nn.dtype import as_float_array, get_default_dtype
 from repro.nn.tensor import Tensor
 
 __all__ = [
@@ -54,9 +55,9 @@ def pack_clouds(clouds: Sequence[np.ndarray], dim: int = 3) -> tuple[np.ndarray,
         ``(points, batch)`` where ``points`` has shape ``(sum N_i, D)`` and
         ``batch`` maps every row to its cloud index, sorted ascending.
     """
-    arrays = [np.asarray(cloud, dtype=np.float64) for cloud in clouds]
+    arrays = [as_float_array(cloud) for cloud in clouds]
     if not arrays:
-        return np.zeros((0, dim), dtype=np.float64), np.zeros((0,), dtype=np.int64)
+        return np.zeros((0, dim), dtype=get_default_dtype()), np.zeros((0,), dtype=np.int64)
     for index, cloud in enumerate(arrays):
         if cloud.ndim != 2 or cloud.shape[0] == 0:
             raise ValueError(
@@ -86,7 +87,7 @@ def unpack_clouds(
     Returns:
         A list of ``num_graphs`` arrays; round-trips with :func:`pack_clouds`.
     """
-    points = np.asarray(points, dtype=np.float64)
+    points = as_float_array(points)
     batch = _check_batch(points.shape[0], batch)
     if num_graphs is None:
         num_graphs = int(batch[-1]) + 1 if batch.size else 0
@@ -104,7 +105,7 @@ def batched_knn_graph(points: np.ndarray, batch: np.ndarray, k: int) -> np.ndarr
     Returns:
         Edge index of shape ``(2, E)`` with indices into the stacked node set.
     """
-    points = np.asarray(points, dtype=np.float64)
+    points = as_float_array(points)
     batch = _check_batch(points.shape[0], batch)
     edges = []
     for graph_id in np.unique(batch):
@@ -133,16 +134,26 @@ def batched_random_graph(
     return np.concatenate(edges, axis=1)
 
 
+def _pool_batch(x: Tensor, batch: np.ndarray, num_graphs: int) -> np.ndarray:
+    """Validate a pooling batch vector; O(1) range check thanks to sortedness."""
+    batch = _check_batch(x.shape[0], batch)
+    if num_graphs <= 0:
+        raise ValueError(f"num_graphs must be positive, got {num_graphs}")
+    if batch.size and (batch[0] < 0 or batch[-1] >= num_graphs):
+        raise ValueError("batch vector references a cloud outside [0, num_graphs)")
+    return batch
+
+
 def global_max_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
     """Per-cloud elementwise maximum over node features."""
-    return scatter_max(x, _check_batch(x.shape[0], batch), num_graphs)
+    return scatter_max(x, _pool_batch(x, batch, num_graphs), num_graphs, validated=True)
 
 
 def global_mean_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
     """Per-cloud mean over node features."""
-    return scatter_mean(x, _check_batch(x.shape[0], batch), num_graphs)
+    return scatter_mean(x, _pool_batch(x, batch, num_graphs), num_graphs, validated=True)
 
 
 def global_sum_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
     """Per-cloud sum over node features."""
-    return scatter_sum(x, _check_batch(x.shape[0], batch), num_graphs)
+    return scatter_sum(x, _pool_batch(x, batch, num_graphs), num_graphs, validated=True)

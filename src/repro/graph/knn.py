@@ -13,12 +13,13 @@ import numpy as np
 from scipy.spatial import cKDTree
 
 from repro.graph.edge_index import validate_edge_index
+from repro.nn.dtype import as_float_array
 
 __all__ = ["knn_graph", "knn_indices", "radius_graph", "pairwise_sq_dists"]
 
 
 def _as_points(points: np.ndarray) -> np.ndarray:
-    points = np.asarray(points, dtype=np.float64)
+    points = as_float_array(points)
     if points.ndim != 2:
         raise ValueError(f"points must be a 2-D array (N, D), got shape {points.shape}")
     if points.shape[0] == 0:
@@ -28,8 +29,8 @@ def _as_points(points: np.ndarray) -> np.ndarray:
 
 def pairwise_sq_dists(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Dense pairwise squared Euclidean distances between rows of ``a`` and ``b``."""
-    a = np.asarray(a, dtype=np.float64)
-    b = np.asarray(b, dtype=np.float64)
+    a = as_float_array(a)
+    b = as_float_array(b)
     a_sq = (a**2).sum(axis=1)[:, None]
     b_sq = (b**2).sum(axis=1)[None, :]
     return np.maximum(a_sq + b_sq - 2.0 * a @ b.T, 0.0)

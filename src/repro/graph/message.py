@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.graph.edge_index import validate_edge_index
 from repro.nn.tensor import Tensor, as_tensor, concatenate
 
 __all__ = ["MESSAGE_TYPES", "message_dim", "build_messages"]
@@ -57,13 +58,18 @@ def message_dim(message_type: str, feature_dim: int) -> int:
     raise ValueError(f"unknown message type '{message_type}', expected one of {MESSAGE_TYPES}")
 
 
-def build_messages(features: Tensor, edge_index: np.ndarray, message_type: str) -> Tensor:
+def build_messages(
+    features: Tensor, edge_index: np.ndarray, message_type: str, validated: bool = False
+) -> Tensor:
     """Build per-edge messages from node features.
 
     Args:
         features: Node features of shape ``(N, F)``.
         edge_index: Edge index of shape ``(2, E)``; row 0 sources, row 1 targets.
         message_type: One of :data:`MESSAGE_TYPES`.
+        validated: Skip the range scan for edge indices that already passed
+            :func:`~repro.graph.edge_index.validate_edge_index` (every graph
+            builder in :mod:`repro.graph` validates its output).
 
     Returns:
         Messages of shape ``(E, message_dim(message_type, F))``.
@@ -71,9 +77,14 @@ def build_messages(features: Tensor, edge_index: np.ndarray, message_type: str) 
     features = as_tensor(features)
     if features.ndim != 2:
         raise ValueError(f"features must be 2-D (N, F), got shape {features.shape}")
-    edge_index = np.asarray(edge_index, dtype=np.int64)
-    if edge_index.ndim != 2 or edge_index.shape[0] != 2:
-        raise ValueError(f"edge_index must have shape (2, E), got {edge_index.shape}")
+    if validated:
+        edge_index = np.asarray(edge_index, dtype=np.int64)
+        if edge_index.ndim != 2 or edge_index.shape[0] != 2:
+            raise ValueError(f"edge_index must have shape (2, E), got {edge_index.shape}")
+    else:
+        # Full range validation: downstream scatter calls on the message
+        # tensor may rely on the targets being in range.
+        edge_index = validate_edge_index(edge_index, features.shape[0])
     sources, targets = edge_index[0], edge_index[1]
 
     x_j = features[sources]

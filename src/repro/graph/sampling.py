@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.edge_index import validate_edge_index
+from repro.nn.dtype import as_float_array
 
 __all__ = ["random_graph", "farthest_point_sampling", "subsample_points"]
 
@@ -62,7 +63,7 @@ def farthest_point_sampling(points: np.ndarray, num_samples: int, rng: np.random
     Returns:
         Integer indices of the selected points, shape ``(num_samples,)``.
     """
-    points = np.asarray(points, dtype=np.float64)
+    points = as_float_array(points)
     if points.ndim != 2 or points.shape[0] == 0:
         raise ValueError(f"points must be a non-empty (N, D) array, got shape {points.shape}")
     n = points.shape[0]
@@ -80,7 +81,7 @@ def farthest_point_sampling(points: np.ndarray, num_samples: int, rng: np.random
 
 def subsample_points(points: np.ndarray, num_points: int, rng: np.random.Generator) -> np.ndarray:
     """Randomly subsample (or pad by repetition) a cloud to ``num_points`` points."""
-    points = np.asarray(points, dtype=np.float64)
+    points = as_float_array(points)
     if points.ndim != 2 or points.shape[0] == 0:
         raise ValueError(f"points must be a non-empty (N, D) array, got shape {points.shape}")
     n = points.shape[0]

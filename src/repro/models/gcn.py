@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn import functional as F
+from repro.nn.dtype import as_float_array
 from repro.nn.layers import Linear, Module
 from repro.nn.tensor import Tensor
 
@@ -45,7 +46,7 @@ class DenseGCNLayer(Module):
             adj: Dense aggregation operator ``(N, N)`` (e.g. ``A + I``), or a
                 stacked batch ``(B, M, M)`` applied graph-by-graph.
         """
-        adj = np.asarray(adj, dtype=np.float64)
+        adj = as_float_array(adj)
         if adj.ndim == 3:
             if x.ndim != 3 or adj.shape != (x.shape[0], x.shape[1], x.shape[1]):
                 raise ValueError(

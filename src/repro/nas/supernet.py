@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.data.dataset import Batch
 from repro.graph.batching import batched_knn_graph, batched_random_graph
+from repro.graph.fused import fused_aggregate, fused_kernels_enabled, supports_fused
 from repro.graph.message import build_messages, message_dim
 from repro.graph.scatter import scatter
 from repro.models.classifier import ClassificationHead
@@ -31,7 +32,7 @@ from repro.nas.architecture import Architecture
 from repro.nas.ops import COMBINE_DIMS, FunctionSet, OperationType
 from repro.nn import functional as F
 from repro.nn.layers import Linear, Module
-from repro.nn.tensor import Tensor, concatenate
+from repro.nn.tensor import Tensor, concatenate, is_grad_enabled
 
 __all__ = ["SupernetConfig", "Supernet"]
 
@@ -98,8 +99,18 @@ class _PositionBlock(Module):
         message_type: str,
     ) -> Tensor:
         """Message construction, reduction and alignment back to hidden."""
-        messages = build_messages(x, edge_index, message_type)
-        reduced = scatter(messages, edge_index[1], x.shape[0], aggregator)
+        # The edge index comes from this supernet's own (validating) graph
+        # builders and is shared across positions: skip re-scanning it on
+        # every aggregate call.
+        if not is_grad_enabled() and fused_kernels_enabled() and supports_fused(message_type):
+            # Evaluation passes (accuracy scoring during the search) run in
+            # no-grad mode and take the fused CSR/reduceat kernel.
+            reduced = fused_aggregate(
+                x, edge_index, message_type, aggregator, num_nodes=x.shape[0], validated=True
+            )
+        else:
+            messages = build_messages(x, edge_index, message_type, validated=True)
+            reduced = scatter(messages, edge_index[1], x.shape[0], aggregator, validated=True)
         width = message_dim(message_type, self.hidden_dim)
         align_weight = self.aggregate_align.weight[:width, :]
         return F.leaky_relu(reduced @ align_weight + self.aggregate_align.bias, 0.2)

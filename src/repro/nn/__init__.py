@@ -8,6 +8,13 @@ schedules (:mod:`repro.nn.scheduler`).
 """
 
 from repro.nn import functional, init
+from repro.nn.dtype import (
+    as_float_array,
+    default_dtype,
+    get_default_dtype,
+    resolve_dtype,
+    set_default_dtype,
+)
 from repro.nn.layers import (
     MLP,
     BatchNorm1d,
@@ -43,6 +50,11 @@ from repro.nn.tensor import Tensor, apply_op, as_tensor, concatenate, is_grad_en
 __all__ = [
     "functional",
     "init",
+    "get_default_dtype",
+    "set_default_dtype",
+    "default_dtype",
+    "resolve_dtype",
+    "as_float_array",
     "Tensor",
     "as_tensor",
     "apply_op",

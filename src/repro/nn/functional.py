@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.dtype import get_default_dtype
 from repro.nn.tensor import Tensor, apply_op, as_tensor
 
 __all__ = [
@@ -69,7 +70,7 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True
     x = as_tensor(x)
     if not training or p == 0.0:
         return x
-    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    mask = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
     return x * Tensor(mask)
 
 
@@ -88,7 +89,7 @@ def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
         raise ValueError(f"one_hot expects a 1-D index array, got shape {indices.shape}")
     if indices.size and (indices.min() < 0 or indices.max() >= num_classes):
         raise ValueError("one_hot indices out of range")
-    out = np.zeros((indices.shape[0], num_classes), dtype=np.float64)
+    out = np.zeros((indices.shape[0], num_classes), dtype=get_default_dtype())
     out[np.arange(indices.shape[0]), indices] = 1.0
     return out
 

@@ -6,6 +6,8 @@ import math
 
 import numpy as np
 
+from repro.nn.dtype import get_default_dtype
+
 __all__ = [
     "zeros",
     "ones",
@@ -19,23 +21,23 @@ __all__ = [
 
 
 def zeros(shape: tuple[int, ...]) -> np.ndarray:
-    """All-zero initialisation."""
-    return np.zeros(shape, dtype=np.float64)
+    """All-zero initialisation (in the default dtype)."""
+    return np.zeros(shape, dtype=get_default_dtype())
 
 
 def ones(shape: tuple[int, ...]) -> np.ndarray:
-    """All-one initialisation."""
-    return np.ones(shape, dtype=np.float64)
+    """All-one initialisation (in the default dtype)."""
+    return np.ones(shape, dtype=get_default_dtype())
 
 
 def uniform(shape: tuple[int, ...], rng: np.random.Generator, low: float = -0.1, high: float = 0.1) -> np.ndarray:
     """Uniform initialisation in ``[low, high)``."""
-    return rng.uniform(low, high, size=shape)
+    return rng.uniform(low, high, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def normal(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.01) -> np.ndarray:
     """Zero-mean Gaussian initialisation."""
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
@@ -54,14 +56,14 @@ def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float
     """Glorot/Xavier uniform initialisation."""
     fan_in, fan_out = _fan_in_out(shape)
     bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
     """Glorot/Xavier normal initialisation."""
     fan_in, fan_out = _fan_in_out(shape)
     std = gain * math.sqrt(2.0 / (fan_in + fan_out))
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator, negative_slope: float = 0.0) -> np.ndarray:
@@ -69,7 +71,7 @@ def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator, negative_s
     fan_in, _ = _fan_in_out(shape)
     gain = math.sqrt(2.0 / (1.0 + negative_slope**2))
     bound = gain * math.sqrt(3.0 / fan_in)
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def kaiming_normal(shape: tuple[int, ...], rng: np.random.Generator, negative_slope: float = 0.0) -> np.ndarray:
@@ -77,4 +79,4 @@ def kaiming_normal(shape: tuple[int, ...], rng: np.random.Generator, negative_sl
     fan_in, _ = _fan_in_out(shape)
     gain = math.sqrt(2.0 / (1.0 + negative_slope**2))
     std = gain / math.sqrt(fan_in)
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(get_default_dtype(), copy=False)

@@ -130,7 +130,7 @@ class Module:
             raise KeyError(f"state_dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
         for name, param in own.items():
             if name in state:
-                value = np.asarray(state[name], dtype=np.float64)
+                value = np.asarray(state[name], dtype=param.data.dtype)
                 if value.shape != param.data.shape:
                     raise ValueError(
                         f"shape mismatch for '{name}': expected {param.data.shape}, got {value.shape}"
@@ -226,8 +226,8 @@ class BatchNorm1d(Module):
         self.momentum = momentum
         self.weight = Tensor(init.ones((num_features,)), requires_grad=True)
         self.bias = Tensor(init.zeros((num_features,)), requires_grad=True)
-        self.running_mean = np.zeros(num_features, dtype=np.float64)
-        self.running_var = np.ones(num_features, dtype=np.float64)
+        self.running_mean = init.zeros((num_features,))
+        self.running_var = init.ones((num_features,))
 
     def forward(self, x: Tensor) -> Tensor:
         if x.ndim != 2 or x.shape[1] != self.num_features:

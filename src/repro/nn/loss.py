@@ -89,7 +89,7 @@ def huber_loss(prediction: Tensor, target: Tensor | np.ndarray, delta: float = 1
     abs_diff = diff.abs()
     quadratic = 0.5 * diff**2
     linear = delta * abs_diff - 0.5 * delta**2
-    mask = (abs_diff.data <= delta).astype(np.float64)
+    mask = (abs_diff.data <= delta).astype(abs_diff.data.dtype)
     return (quadratic * Tensor(mask) + linear * Tensor(1.0 - mask)).mean()
 
 

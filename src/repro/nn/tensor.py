@@ -8,9 +8,13 @@ and runs the closures in reverse order.
 
 Design notes
 ------------
-* Arrays are stored as ``float64`` by default.  The models in this project
-  are small, so the extra precision is cheap and makes finite-difference
-  gradient checks in the test-suite tight.
+* Arrays follow the **dtype policy** of :mod:`repro.nn.dtype`: fresh
+  (non-float) data is cast to the module default (float32, half the memory
+  bandwidth of float64 on the edge-latency hot paths), while floating
+  arrays keep their own dtype — so a float64 pipeline built under
+  ``default_dtype("float64")`` stays float64 end to end, which is what the
+  finite-difference gradient checks in the test-suite use.  Gradients are
+  stored and accumulated in the dtype of the tensor they belong to.
 * Broadcasting is fully supported; gradients are "unbroadcast" (summed over
   broadcast dimensions) before accumulation.
 * Custom differentiable operations (e.g. the scatter aggregations in
@@ -26,6 +30,8 @@ import contextlib
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
+
+from repro.nn.dtype import as_float_array
 
 __all__ = ["Tensor", "as_tensor", "apply_op", "no_grad", "is_grad_enabled"]
 
@@ -79,10 +85,11 @@ class Tensor:
         requires_grad: bool = False,
         parents: tuple["Tensor", ...] = (),
         name: str | None = None,
+        dtype: np.dtype | str | None = None,
     ):
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = as_float_array(data, dtype)
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._parents: tuple[Tensor, ...] = parents if self.requires_grad else ()
@@ -162,7 +169,7 @@ class Tensor:
             if self.data.size != 1:
                 raise RuntimeError("backward() without a gradient requires a scalar tensor")
             grad = np.ones_like(self.data)
-        grad = np.broadcast_to(np.asarray(grad, dtype=np.float64), self.data.shape).copy()
+        grad = np.broadcast_to(np.asarray(grad, dtype=self.data.dtype), self.data.shape).copy()
 
         topo: list[Tensor] = []
         visited: set[int] = set()
@@ -328,7 +335,7 @@ class Tensor:
                 grad = out.grad
                 reduced_keep = reduced if keepdims or axis is None else np.expand_dims(reduced, axis=axis)
                 grad_keep = grad if keepdims or axis is None else np.expand_dims(grad, axis=axis)
-                mask = (self.data == reduced_keep).astype(np.float64)
+                mask = (self.data == reduced_keep).astype(self.data.dtype)
                 # Split gradient equally between ties for a well-defined subgradient.
                 counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
                 self._accumulate(mask * grad_keep / counts)
@@ -506,7 +513,7 @@ def apply_op(
         The output :class:`Tensor` wired into the autograd graph.
     """
     parents = tuple(parents)
-    out = _make(np.asarray(data, dtype=np.float64), parents)
+    out = _make(as_float_array(data), parents)
     if out.requires_grad:
 
         def _backward() -> None:
@@ -517,7 +524,8 @@ def apply_op(
                 )
             for parent, grad in zip(parents, grads):
                 if parent.requires_grad and grad is not None:
-                    parent._accumulate(_unbroadcast(np.asarray(grad, dtype=np.float64), parent.data.shape))
+                    grad = np.asarray(grad, dtype=parent.data.dtype)
+                    parent._accumulate(_unbroadcast(grad, parent.data.shape))
 
         out._backward = _backward
     return out

@@ -19,6 +19,7 @@ import numpy as np
 from repro.graph.adjacency import sum_aggregation_matrix
 from repro.hardware.cost_model import lower_op
 from repro.nas.architecture import Architecture, effective_op_to_descriptor
+from repro.nn.dtype import get_default_dtype
 from repro.predictor.encoding import (
     COST_FEATURE_DIM,
     FEATURE_DIM,
@@ -110,7 +111,7 @@ def architecture_to_graph(
     # Rows are written straight into the preallocated matrix (layout:
     # node-type + function columns, then the cost columns) — this is the
     # hottest allocation site of population-scale evaluation.
-    feature_matrix = np.zeros((num_nodes, FEATURE_DIM), dtype=np.float64)
+    feature_matrix = np.zeros((num_nodes, FEATURE_DIM), dtype=get_default_dtype())
     labels: list[str] = ["input"]
     feature_matrix[0, :base_dim] = _terminal_row("input")
     cost_totals = np.zeros(3, dtype=np.float64)
@@ -123,7 +124,7 @@ def architecture_to_graph(
     labels.append("output")
     feature_matrix[num_chain - 1, :base_dim] = _terminal_row("output")
 
-    adjacency = np.zeros((num_nodes, num_nodes), dtype=np.float64)
+    adjacency = np.zeros((num_nodes, num_nodes), dtype=feature_matrix.dtype)
     # Dataflow edges along the chain: A[target, source] = 1.
     chain = np.arange(num_chain - 1)
     adjacency[chain + 1, chain] = 1.0

@@ -81,8 +81,9 @@ def collate_graphs(graphs: Sequence[ArchitectureGraph]) -> GraphBatch:
     num_graphs = len(graphs)
     max_nodes = int(counts.max())
     feature_dim = graphs[0].features.shape[1]
-    features = np.zeros((num_graphs, max_nodes, feature_dim), dtype=np.float64)
-    aggregation = np.zeros((num_graphs, max_nodes, max_nodes), dtype=np.float64)
+    dtype = graphs[0].features.dtype
+    features = np.zeros((num_graphs, max_nodes, feature_dim), dtype=dtype)
+    aggregation = np.zeros((num_graphs, max_nodes, max_nodes), dtype=dtype)
     for index, graph in enumerate(graphs):
         if graph.features.shape[1] != feature_dim:
             raise ValueError(
@@ -155,7 +156,7 @@ def predict_latencies(predictor, graphs: Sequence[ArchitectureGraph]) -> np.ndar
     why unpadded shapes are what makes the floats exact).
     """
     if not graphs:
-        return np.zeros(0, dtype=np.float64)
+        return np.zeros(0, dtype=np.float64)  # latency milliseconds: metric bookkeeping
     groups: dict[int, list[int]] = {}
     for index, graph in enumerate(graphs):
         groups.setdefault(graph.num_nodes, []).append(index)
@@ -163,6 +164,9 @@ def predict_latencies(predictor, graphs: Sequence[ArchitectureGraph]) -> np.ndar
     with no_grad():
         for indices in groups.values():
             batch = collate_graphs([graphs[index] for index in indices])
-            standardised = forward_graph_batch(predictor, batch).numpy()
+            # The sequential path denormalizes a Python float (``.item()``
+            # upcasts the network output to float64); match it exactly by
+            # denormalizing in float64 regardless of the compute dtype.
+            standardised = forward_graph_batch(predictor, batch).numpy().astype(np.float64)
             latencies[indices] = predictor.denormalize_to_ms(standardised)
     return latencies

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.graph.knn import knn_graph
 from repro.graph.sampling import random_graph
+from repro.nn.dtype import as_float_array
 
 __all__ = ["CacheStats", "LRUCache", "cloud_fingerprint", "CachingGraphBuilder"]
 
@@ -154,7 +155,9 @@ class CachingGraphBuilder:
     def __call__(
         self, method: str, features: np.ndarray, batch_vector: np.ndarray, k: int
     ) -> np.ndarray:
-        features = np.asarray(features, dtype=np.float64)
+        # Preserve the compute dtype; fingerprints quantise to float64
+        # internally so cache keys stay dtype-independent.
+        features = as_float_array(features)
         batch_vector = np.asarray(batch_vector, dtype=np.int64)
         edges: list[np.ndarray] = []
         for graph_id in np.unique(batch_vector):

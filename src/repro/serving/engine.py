@@ -36,6 +36,7 @@ import numpy as np
 from repro.data.dataset import Batch
 from repro.graph.batching import pack_clouds
 from repro.hardware.latency import estimate_latency
+from repro.nn.dtype import get_default_dtype
 from repro.nn.tensor import no_grad
 from repro.serving.batcher import BatcherConfig, MicroBatcher, QueuedRequest
 from repro.serving.cache import CachingGraphBuilder, LRUCache, cloud_fingerprint
@@ -164,7 +165,9 @@ class InferenceEngine:
     # Submission API
     # ------------------------------------------------------------------ #
     def _validate_points(self, entry: DeployedModel, points: np.ndarray) -> np.ndarray:
-        points = np.asarray(points, dtype=np.float64)
+        # Serving is an entry point: requests are coerced to the default
+        # compute dtype (float32 unless the policy says otherwise).
+        points = np.asarray(points, dtype=get_default_dtype())
         if points.ndim != 2 or points.shape[0] == 0:
             raise ValueError(f"a request must be a non-empty (N, D) cloud, got shape {points.shape}")
         expected_dim = entry.architecture.input_dim

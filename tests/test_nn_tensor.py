@@ -3,7 +3,26 @@
 import numpy as np
 import pytest
 
-from repro.nn.tensor import Tensor, as_tensor, concatenate, maximum, no_grad, stack, where
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.dtype import (
+    as_float_array,
+    default_dtype,
+    get_default_dtype,
+    set_default_dtype,
+)
+from repro.nn.layers import Linear
+from repro.nn.loss import cross_entropy, huber_loss, mae_loss, mape_loss, mse_loss
+from repro.nn.tensor import (
+    Tensor,
+    apply_op,
+    as_tensor,
+    concatenate,
+    maximum,
+    no_grad,
+    stack,
+    where,
+)
 
 from helpers import finite_difference_grad
 
@@ -174,3 +193,136 @@ class TestGradMode:
         t = Tensor([1.0])
         assert as_tensor(t) is t
         assert isinstance(as_tensor([1.0, 2.0]), Tensor)
+
+
+class TestDtypePolicy:
+    """The float32-default dtype policy of repro.nn.dtype (PR 5)."""
+
+    def test_default_is_float32(self):
+        assert get_default_dtype() == np.float32
+
+    def test_fresh_data_uses_default(self):
+        assert Tensor([1.0, 2.0]).dtype == np.float32
+        assert Tensor(3).dtype == np.float32
+        assert Tensor(np.arange(4)).dtype == np.float32
+        assert Tensor(np.ones(3, dtype=bool)).dtype == np.float32
+
+    def test_float_arrays_keep_their_dtype(self):
+        assert Tensor(np.ones(3, dtype=np.float64)).dtype == np.float64
+        assert Tensor(np.ones(3, dtype=np.float32)).dtype == np.float32
+
+    def test_explicit_dtype_wins(self):
+        assert Tensor(np.ones(3, dtype=np.float64), dtype="float32").dtype == np.float32
+
+    def test_context_manager_scopes_the_default(self):
+        with default_dtype("float64"):
+            assert Tensor([1.0]).dtype == np.float64
+            assert Tensor(init.zeros((2,))).dtype == np.float64
+        assert Tensor([1.0]).dtype == np.float32
+
+    def test_set_default_dtype_round_trip(self):
+        set_default_dtype("float64")
+        try:
+            assert get_default_dtype() == np.float64
+        finally:
+            set_default_dtype("float32")
+
+    def test_non_float_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            set_default_dtype("int64")
+        with pytest.raises(ValueError):
+            default_dtype("int32").__enter__()
+
+    def test_as_float_array_no_copy_for_floats(self):
+        arr = np.ones(3, dtype=np.float32)
+        assert as_float_array(arr) is arr
+
+
+def _unary_ops():
+    return {
+        "add": lambda x: x + 1.5,
+        "mul": lambda x: x * 2.0,
+        "div": lambda x: x / 3.0,
+        "rdiv": lambda x: 2.0 / (x + 3.0),
+        "pow": lambda x: (x + 3.0) ** 2,
+        "matmul": lambda x: x @ Tensor(np.ones((3, 2), dtype=np.float32)),
+        "sum": lambda x: x.sum(axis=0),
+        "mean": lambda x: x.mean(axis=1),
+        "max": lambda x: x.max(axis=0),
+        "min": lambda x: x.min(axis=1),
+        "reshape": lambda x: x.reshape(-1),
+        "transpose": lambda x: x.T,
+        "getitem": lambda x: x[np.array([0, 1, 1])],
+        "exp": lambda x: x.exp(),
+        "log": lambda x: (x + 3.0).log(),
+        "abs": lambda x: x.abs(),
+        "sqrt": lambda x: (x + 3.0).sqrt(),
+        "relu": lambda x: F.relu(x),
+        "leaky_relu": lambda x: F.leaky_relu(x, 0.2),
+        "sigmoid": lambda x: F.sigmoid(x),
+        "tanh": lambda x: F.tanh(x),
+        "softmax": lambda x: F.softmax(x),
+        "log_softmax": lambda x: F.log_softmax(x),
+        "dropout": lambda x: F.dropout(x, 0.5, np.random.default_rng(0)),
+        "linear": lambda x: F.linear(
+            x, Tensor(np.ones((3, 4), dtype=np.float32)), Tensor(np.zeros(4, dtype=np.float32))
+        ),
+        "clip": lambda x: x.clip(-0.5, 0.5),
+        "concatenate": lambda x: concatenate([x, x * 2.0], axis=0),
+        "stack": lambda x: stack([x, x], axis=0),
+        "where": lambda x: where(np.ones(x.shape, dtype=bool), x, x * 2.0),
+        "maximum": lambda x: maximum(x, x * 0.5),
+    }
+
+
+class TestDtypePropagation:
+    """Every nn op preserves float32 end to end, forward and backward."""
+
+    @pytest.mark.parametrize("name", sorted(_unary_ops()))
+    def test_op_preserves_float32(self, name, rng):
+        op = _unary_ops()[name]
+        x = Tensor(rng.normal(size=(2, 3)).astype(np.float32), requires_grad=True)
+        out = op(x)
+        assert out.dtype == np.float32, f"{name} forward upcast to {out.dtype}"
+        out.sum().backward()
+        assert x.grad is not None and x.grad.dtype == np.float32, f"{name} grad dtype"
+
+    def test_backward_seed_follows_tensor_dtype(self):
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        (x * 2.0).backward(np.ones(3, dtype=np.float64))
+        assert x.grad.dtype == np.float32
+
+    def test_apply_op_preserves_dtype(self):
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        out = apply_op(x.data * 2.0, (x,), lambda grad: [np.asarray(grad, dtype=np.float64) * 2.0])
+        assert out.dtype == np.float32
+        out.sum().backward()
+        assert x.grad.dtype == np.float32
+
+    def test_losses_preserve_float32(self, rng):
+        logits = Tensor(rng.normal(size=(4, 3)).astype(np.float32), requires_grad=True)
+        targets = np.array([0, 1, 2, 1])
+        loss = cross_entropy(logits, targets)
+        assert loss.dtype == np.float32
+        loss.backward()
+        assert logits.grad.dtype == np.float32
+        pred = Tensor(rng.normal(size=(5,)).astype(np.float32), requires_grad=True)
+        target = Tensor(rng.normal(size=(5,)).astype(np.float32))
+        for loss_fn in (mse_loss, mae_loss, mape_loss, huber_loss):
+            value = loss_fn(pred, target)
+            assert value.dtype == np.float32, loss_fn.__name__
+
+    def test_modules_initialise_in_default_dtype(self):
+        layer = Linear(3, 4, rng=np.random.default_rng(0))
+        assert layer.weight.dtype == np.float32 and layer.bias.dtype == np.float32
+        out = layer(Tensor(np.ones((2, 3), dtype=np.float32)))
+        assert out.dtype == np.float32
+        with default_dtype("float64"):
+            wide = Linear(3, 4, rng=np.random.default_rng(0))
+        assert wide.weight.dtype == np.float64
+
+    def test_state_dict_round_trip_keeps_param_dtype(self):
+        layer = Linear(2, 2, rng=np.random.default_rng(0))
+        state = {name: value.astype(np.float64) for name, value in layer.state_dict().items()}
+        layer.load_state_dict(state)
+        assert layer.weight.data.dtype == np.float32
