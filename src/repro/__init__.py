@@ -21,6 +21,9 @@ DAC 2023) on top of a pure-numpy substrate:
 * :mod:`repro.predictor` -- the GNN-based hardware performance predictor.
 * :mod:`repro.serving` -- the batched, cached inference-serving engine that
   deploys searched architectures behind a request API.
+* :mod:`repro.obs` -- unified observability: nested span tracing, mergeable
+  counters/gauges/histograms, and exporters into the artifact store
+  (``repro <stage> --trace`` / ``repro report``).
 * :mod:`repro.workspace` -- the stateful pipeline entry point
   (:class:`~repro.workspace.Workspace`) with its content-addressed artifact
   store and the shared :class:`~repro.workspace.InferenceDefaults`.
@@ -61,6 +64,15 @@ _LAZY_EXPORTS = {
     "set_default_dtype": "repro.nn.dtype",
     "default_dtype": "repro.nn.dtype",
     "use_fused_kernels": "repro.graph.fused",
+    "trace_span": "repro.obs",
+    "get_tracer": "repro.obs",
+    "get_metrics": "repro.obs",
+    "Tracer": "repro.obs",
+    "MetricsRegistry": "repro.obs",
+    "merge_snapshots": "repro.obs",
+    "reset_observability": "repro.obs",
+    "save_run": "repro.obs",
+    "load_run": "repro.obs",
     "register_device": "repro.hardware.device",
     "unregister_device": "repro.hardware.device",
     "get_device": "repro.hardware.device",

@@ -7,16 +7,23 @@ Subcommands mirror the pipeline stages::
     repro predict  --device gpu   # train (or load) the latency predictor
     repro search   --device tx2   # run a laptop-scale hardware-aware search
     repro serve    --requests 64  # serve a synthetic stream, print telemetry
+    repro report   --root runs/   # render a persisted observability run
 
 Pass ``--root DIR`` to any stage command to persist artifacts in a
 content-addressed store, so a repeated ``repro predict``/``repro search``
 with the same flags loads the previous result instead of recomputing.  The
 legacy ``repro-serve`` script forwards to ``repro serve``.
+
+Global flags work before or after the subcommand: ``-v``/``--log-level``
+control logging verbosity, and ``--trace`` records the run's span tree and
+metrics (printed after the command; persisted into the artifact store when
+``--root`` is set, and/or written as plain files via ``--trace-out DIR``).
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 
 import numpy as np
@@ -28,8 +35,24 @@ from repro.nas.presets import device_acc_architecture, device_fast_architecture,
 from repro.nas.search import HGNASConfig
 from repro.nas.visualize import render_architecture
 from repro.nn.dtype import default_dtype
+from repro.obs import (
+    format_metrics,
+    format_run,
+    format_span_tree,
+    get_metrics,
+    get_tracer,
+    list_runs,
+    load_run,
+    reset_observability,
+    save_run,
+    trace_span,
+    write_metrics_json,
+    write_spans_jsonl,
+)
 from repro.serving.engine import AdmissionError, EngineConfig
+from repro.utils.logging import set_verbosity
 from repro.workspace import Workspace
+from repro.workspace.store import ArtifactStore
 
 __all__ = ["build_parser", "add_serve_arguments", "main"]
 
@@ -38,6 +61,44 @@ _PRESETS = {
     "fast": lambda device: device_fast_architecture(device),
     "acc": lambda device: device_acc_architecture(device),
 }
+
+
+def _global_options() -> argparse.ArgumentParser:
+    """Parent parser carrying the global flags.
+
+    Attached to the root parser *and* every subparser so the flags work
+    before or after the subcommand.  ``SUPPRESS`` defaults keep a
+    subparser's (unset) copy from clobbering a value parsed by the root;
+    read them with ``getattr(args, name, fallback)``.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("global options")
+    group.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=argparse.SUPPRESS,
+        help="increase log verbosity (-v: INFO, -vv: DEBUG)",
+    )
+    group.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=argparse.SUPPRESS,
+        help="explicit log level (overrides -v)",
+    )
+    group.add_argument(
+        "--trace",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="record spans/metrics and print the trace after the command",
+    )
+    group.add_argument(
+        "--trace-out",
+        metavar="DIR",
+        default=argparse.SUPPRESS,
+        help="also write spans.jsonl/metrics.json to DIR (implies --trace)",
+    )
+    return parent
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser, default_device: str = "jetson-tx2") -> None:
@@ -230,21 +291,45 @@ def _serve_stream(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------- #
+# repro report
+# ---------------------------------------------------------------------- #
+def _cmd_report(args: argparse.Namespace) -> int:
+    store = ArtifactStore(args.root)
+    if args.list:
+        runs = list_runs(store)
+        if not runs:
+            print("no observability runs in this store; run a stage with --trace first")
+            return 0
+        for key, meta in runs:
+            print(f"{key}  label={meta.get('label')}  spans={meta.get('num_spans', 0)}")
+        return 0
+    key, meta = load_run(store, args.key)
+    print(f"key: {key}")
+    print(format_run(meta))
+    return 0
+
+
+# ---------------------------------------------------------------------- #
 # Parser / dispatch
 # ---------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
+    global_options = _global_options()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="HGNAS reproduction pipeline: profile, predict, search and serve point-cloud GNNs.",
+        parents=[global_options],
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    devices = subparsers.add_parser("devices", help="list registered devices and latency oracles")
+    def add_command(name: str, help_text: str) -> argparse.ArgumentParser:
+        return subparsers.add_parser(name, help=help_text, parents=[global_options])
+
+    devices = add_command("devices", "list registered devices and latency oracles")
     devices.set_defaults(func=_cmd_devices)
 
     # Profiling is deterministic and cheap: no --root/--seed, unlike the
     # stage commands that persist artifacts.
-    profile = subparsers.add_parser("profile", help="latency/memory breakdown of a preset architecture")
+    profile = add_command("profile", "latency/memory breakdown of a preset architecture")
     profile.add_argument(
         "--device",
         default="jetson-tx2",
@@ -256,14 +341,14 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--num-classes", type=int, default=None, help="classifier classes (default: 40)")
     profile.set_defaults(func=_cmd_profile)
 
-    predict = subparsers.add_parser("predict", help="train or load the GNN latency predictor")
+    predict = add_command("predict", "train or load the GNN latency predictor")
     _add_common_arguments(predict)
     predict.add_argument("--num-samples", type=int, default=150, help="sampled architectures to label")
     predict.add_argument("--epochs", type=int, default=30, help="predictor training epochs")
     predict.add_argument("--fresh", action="store_true", help="retrain even when a cached artifact exists")
     predict.set_defaults(func=_cmd_predict)
 
-    search = subparsers.add_parser("search", help="run a laptop-scale hardware-aware search")
+    search = add_command("search", "run a laptop-scale hardware-aware search")
     _add_common_arguments(search)
     search.add_argument(
         "--oracle",
@@ -282,17 +367,68 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--fresh", action="store_true", help="re-search even when a cached artifact exists")
     search.set_defaults(func=_cmd_search)
 
-    serve = subparsers.add_parser("serve", help="serve a synthetic request stream, print telemetry")
+    serve = add_command("serve", "serve a synthetic request stream, print telemetry")
     add_serve_arguments(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    report = add_command("report", "render a persisted observability run from an artifact store")
+    report.add_argument("--root", required=True, help="artifact-store directory holding obs runs")
+    report.add_argument("--key", default=None, help="run key to render (default: the most recent run)")
+    report.add_argument("--list", action="store_true", help="list persisted runs instead of rendering one")
+    report.set_defaults(func=_cmd_report)
 
     return parser
 
 
+def _apply_verbosity(args: argparse.Namespace) -> None:
+    log_level = getattr(args, "log_level", None)
+    verbose = getattr(args, "verbose", 0) or 0
+    if log_level:
+        set_verbosity(log_level.upper())
+    elif verbose >= 2:
+        set_verbosity("DEBUG")
+    elif verbose == 1:
+        set_verbosity("INFO")
+
+
+def _emit_trace(args: argparse.Namespace) -> None:
+    """Print this run's trace; persist it when --root / --trace-out are set."""
+    tracer = get_tracer()
+    metrics = get_metrics()
+    print("\n== trace ==")
+    print(format_span_tree(tracer))
+    if len(metrics):
+        print("-- metrics --")
+        print(format_metrics(metrics))
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        out_dir = pathlib.Path(trace_out)
+        write_spans_jsonl(out_dir / "spans.jsonl", tracer)
+        write_metrics_json(out_dir / "metrics.json", metrics)
+        print(f"trace files written to {out_dir}")
+    root = getattr(args, "root", None)
+    if root is not None and args.command != "report":
+        key = save_run(ArtifactStore(root), label=args.command)
+        print(f"obs run saved under key {key} (render with: repro report --root {root})")
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    _apply_verbosity(args)
+    tracing = bool(getattr(args, "trace", False)) or getattr(args, "trace_out", None) is not None
     try:
-        return args.func(args)
+        if not tracing:
+            return args.func(args)
+        # One trace per CLI invocation: stale spans/metrics from in-process
+        # callers (tests, notebooks) would otherwise pollute the report.
+        reset_observability()
+        try:
+            with trace_span(f"cli.{args.command}"):
+                return args.func(args)
+        finally:
+            # Emitted even when the command fails: spans are exception-safe,
+            # so a partial trace of the failed run still prints/persists.
+            _emit_trace(args)
     except (KeyError, ValueError, AdmissionError) as error:
         message = error.args[0] if error.args else str(error)
         print(f"repro: error: {message}", file=sys.stderr)

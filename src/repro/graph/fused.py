@@ -43,6 +43,7 @@ import numpy as np
 
 from repro.nn.layers import MLP, Dropout, Identity, LeakyReLU, Linear, ReLU, Sequential
 from repro.nn.tensor import Tensor, apply_op, as_tensor
+from repro.obs.metrics import get_metrics
 
 __all__ = [
     "FUSED_MESSAGE_TYPES",
@@ -270,6 +271,10 @@ def fused_edgeconv(
         target_bound = dim_size if message_type == "source_pos" else min(dim_size, x.shape[0])
         if edge_index[0].max() >= x.shape[0] or edge_index[1].max() >= target_bound:
             raise ValueError("edge_index references a node outside the graph")
+
+    metrics = get_metrics()
+    metrics.count("graph.fused.dispatch")
+    metrics.count("graph.fused.edges", int(edge_index.shape[1]))
 
     xd = x.data
     dtype = xd.dtype

@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.tensor import Tensor, apply_op, as_tensor
+from repro.obs.metrics import get_metrics
 
 __all__ = [
     "scatter_sum",
@@ -56,6 +57,7 @@ def validate_index(index: np.ndarray, num_segments: int) -> np.ndarray:
 def _check_inputs(
     src: Tensor, index: np.ndarray, dim_size: int, validated: bool
 ) -> tuple[Tensor, np.ndarray]:
+    get_metrics().count("graph.scatter.dispatch")
     src = as_tensor(src)
     if src.ndim != 2:
         raise ValueError(f"scatter expects 2-D messages (E, F), got shape {src.shape}")

@@ -8,6 +8,7 @@ from repro.hardware.device import DeviceSpec
 from repro.hardware.latency import estimate_latency
 from repro.hardware.memory import estimate_peak_memory
 from repro.hardware.workload import Workload
+from repro.obs.metrics import get_metrics
 
 __all__ = ["ProfileResult", "profile_workload", "profile_breakdown"]
 
@@ -33,6 +34,7 @@ class ProfileResult:
 
 def profile_workload(workload: Workload, device: DeviceSpec) -> ProfileResult:
     """Profile latency breakdown and peak memory of a workload on a device."""
+    get_metrics().count("hardware.profile.calls")
     latency = estimate_latency(workload, device)
     memory = estimate_peak_memory(workload, device)
     return ProfileResult(

@@ -17,6 +17,7 @@ from repro.graph.message import MESSAGE_TYPES, build_messages, message_dim
 from repro.graph.scatter import AGGREGATORS, scatter
 from repro.nn.layers import MLP, Module
 from repro.nn.tensor import Tensor, is_grad_enabled
+from repro.obs.metrics import get_metrics
 
 __all__ = ["EdgeConv"]
 
@@ -82,6 +83,7 @@ class EdgeConv(Module):
                 num_nodes=x.shape[0],
                 validated=True,
             )
+        get_metrics().count("graph.materialized.dispatch")
         messages = build_messages(x, edge_index, self.message_type, validated=True)
         transformed = self.mlp(messages)
         return scatter(transformed, edge_index[1], x.shape[0], self.aggregator, validated=True)

@@ -22,6 +22,7 @@ from repro.nas.architecture import Architecture, EffectiveOp
 from repro.nn import functional as F
 from repro.nn.layers import Linear, Module
 from repro.nn.tensor import Tensor, concatenate, is_grad_enabled
+from repro.obs.metrics import get_metrics
 
 __all__ = ["DerivedModel", "GraphBuilder"]
 
@@ -102,6 +103,7 @@ class DerivedModel(Module):
                         validated=True,
                     )
                 else:
+                    get_metrics().count("graph.materialized.dispatch")
                     messages = build_messages(x, edge_index, op.message_type, validated=True)
                     x = scatter(
                         messages, edge_index[1], x.shape[0], op.aggregator, validated=True

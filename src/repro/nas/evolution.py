@@ -14,6 +14,8 @@ from typing import Callable, Generic, Hashable, TypeVar
 
 import numpy as np
 
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 from repro.utils.timer import VirtualClock
 
 __all__ = ["EvolutionConfig", "HistoryPoint", "EvolutionResult", "EvolutionarySearch"]
@@ -117,11 +119,13 @@ class EvolutionarySearch(Generic[Genotype]):
         self.evaluation_cost_s = evaluation_cost_s
         self._cache: dict[Hashable, float] = {}
         self.evaluations = 0
+        self.cache_hits = 0
 
     # ------------------------------------------------------------------ #
     def _evaluate(self, genotype: Genotype) -> float:
         cache_key = self.key_fn(genotype)
         if cache_key in self._cache:
+            self.cache_hits += 1
             return self._cache[cache_key]
         score = float(self.evaluate_fn(genotype))
         self._cache[cache_key] = score
@@ -141,6 +145,9 @@ class EvolutionarySearch(Generic[Genotype]):
         for cache_key, genotype in zip(keys, genotypes):
             if cache_key not in self._cache and cache_key not in pending:
                 pending[cache_key] = genotype
+        # Every lookup that does not trigger a fresh evaluation was served
+        # by the fitness cache, exactly as in the sequential path.
+        self.cache_hits += len(genotypes) - len(pending)
         if pending:
             batch = list(pending.values())
             scores = np.asarray(self.evaluate_many_fn(batch), dtype=np.float64)
@@ -191,6 +198,40 @@ class EvolutionarySearch(Generic[Genotype]):
             child = self.mutate(child, self.rng, self.config.mutations_per_child)
         return child
 
+    def _traced_generation(
+        self, iteration: int, produce: Callable[[], list[tuple[Genotype, float]]]
+    ) -> list[tuple[Genotype, float]]:
+        """Run one generation inside a span, recording per-generation metrics.
+
+        The span carries population size, fresh-evaluation and cache-hit
+        counts, best/mean fitness and the virtual-clock charge of the
+        generation; the default registry accumulates the same quantities as
+        ``nas.evolution.*`` counters/gauges.  Purely observational — the
+        genotypes, scores and clock are untouched.
+        """
+        metrics = get_metrics()
+        evaluations_before = self.evaluations
+        hits_before = self.cache_hits
+        clock_before = self.clock.now
+        with get_tracer().span("nas.evolution.generation", iteration=iteration) as span:
+            population = produce()
+            population.sort(key=lambda item: item[1], reverse=True)
+            scores = [score for _, score in population]
+            span.attributes.update(
+                population=len(population),
+                evaluations=self.evaluations - evaluations_before,
+                cache_hits=self.cache_hits - hits_before,
+                best_fitness=float(population[0][1]),
+                mean_fitness=float(np.mean(scores)),
+                clock_s=self.clock.now - clock_before,
+            )
+        metrics.count("nas.evolution.generations")
+        metrics.count("nas.evolution.evaluations", self.evaluations - evaluations_before)
+        metrics.count("nas.evolution.cache_hits", self.cache_hits - hits_before)
+        metrics.count("nas.evolution.clock_s", self.clock.now - clock_before)
+        metrics.set_gauge("nas.evolution.best_fitness", float(population[0][1]), aggregate="max")
+        return population
+
     def run(self, iterations: int) -> EvolutionResult[Genotype]:
         """Run the EA for ``iterations`` generations.
 
@@ -202,10 +243,12 @@ class EvolutionarySearch(Generic[Genotype]):
         """
         if iterations <= 0:
             raise ValueError("iterations must be positive")
-        population = self._spawn_and_score(
-            self.config.population_size, lambda: self.initialize(self.rng)
+        population = self._traced_generation(
+            0,
+            lambda: self._spawn_and_score(
+                self.config.population_size, lambda: self.initialize(self.rng)
+            ),
         )
-        population.sort(key=lambda item: item[1], reverse=True)
         history = [
             HistoryPoint(
                 iteration=0,
@@ -219,9 +262,11 @@ class EvolutionarySearch(Generic[Genotype]):
         num_children = self.config.population_size - num_parents
         for iteration in range(1, iterations + 1):
             parents = population[:num_parents]
-            children = self._spawn_and_score(num_children, lambda: self._make_child(parents))
-            population = parents + children
-            population.sort(key=lambda item: item[1], reverse=True)
+            population = self._traced_generation(
+                iteration,
+                lambda parents=parents: parents
+                + self._spawn_and_score(num_children, lambda: self._make_child(parents)),
+            )
             history.append(
                 HistoryPoint(
                     iteration=iteration,

@@ -40,6 +40,7 @@ from repro.nas.objective import ObjectiveConfig, hardware_constrained_score
 from repro.nas.ops import FunctionSet, mutate_function_set, random_function_set
 from repro.nas.supernet import Supernet, SupernetConfig
 from repro.nas.trainer import evaluate_path, train_supernet
+from repro.obs.tracer import get_tracer
 from repro.utils.logging import get_logger
 from repro.utils.timer import VirtualClock
 
@@ -398,24 +399,31 @@ class HGNAS:
     # ------------------------------------------------------------------ #
     def run(self) -> SearchResult:
         """Run the multi-stage hierarchical search (Alg. 1)."""
+        tracer = get_tracer()
         _LOGGER.info("stage 1: training supernet for function search")
-        supernet = Supernet(self.config.supernet_config())
-        self._train_supernet(supernet, lambda rng: supernet.random_path(rng), self.config.function_epochs)
+        with tracer.span("nas.search.stage1_supernet", epochs=self.config.function_epochs):
+            supernet = Supernet(self.config.supernet_config())
+            self._train_supernet(supernet, lambda rng: supernet.random_path(rng), self.config.function_epochs)
 
         _LOGGER.info("stage 1: evolutionary function search")
-        (upper, lower), stage1_history = self._search_functions(supernet)
+        with tracer.span("nas.search.stage1_functions") as span:
+            (upper, lower), stage1_history = self._search_functions(supernet)
+            span.attributes.update(best_score=float(stage1_history[-1].best_score))
 
         _LOGGER.info("stage 2: re-training supernet with fixed functions")
-        supernet = Supernet(self.config.supernet_config())
-        self._accuracy_cache.clear()
-        self._train_supernet(
-            supernet,
-            lambda rng: supernet.random_path(rng, upper_functions=upper, lower_functions=lower),
-            self.config.operation_epochs,
-        )
+        with tracer.span("nas.search.stage2_supernet", epochs=self.config.operation_epochs):
+            supernet = Supernet(self.config.supernet_config())
+            self._accuracy_cache.clear()
+            self._train_supernet(
+                supernet,
+                lambda rng: supernet.random_path(rng, upper_functions=upper, lower_functions=lower),
+                self.config.operation_epochs,
+            )
 
         _LOGGER.info("stage 2: multi-objective operation search")
-        best, best_score, stage2_history, evaluations = self._search_operations(supernet, upper, lower)
+        with tracer.span("nas.search.stage2_operations") as span:
+            best, best_score, stage2_history, evaluations = self._search_operations(supernet, upper, lower)
+            span.attributes.update(best_score=float(best_score), evaluations=evaluations)
 
         best_latency = self._latency(best)
         best_accuracy = self._path_accuracy(supernet, best)
@@ -440,10 +448,12 @@ class HGNAS:
         fully random paths (same total epoch budget as the two stages of the
         hierarchical strategy) and a single EA explores the joint space.
         """
+        tracer = get_tracer()
         iterations = iterations or (self.config.function_iterations + self.config.operation_iterations)
-        supernet = Supernet(self.config.supernet_config())
         total_epochs = self.config.function_epochs + self.config.operation_epochs
-        self._train_supernet(supernet, lambda rng: supernet.random_path(rng), total_epochs)
+        with tracer.span("nas.search.one_stage_supernet", epochs=total_epochs):
+            supernet = Supernet(self.config.supernet_config())
+            self._train_supernet(supernet, lambda rng: supernet.random_path(rng), total_epochs)
 
         def initialize(rng: np.random.Generator) -> Architecture:
             return self.design_space.random_architecture(rng)
@@ -473,7 +483,9 @@ class HGNAS:
             clock=self.clock,
             evaluate_many=evaluate_many if self.config.batched_evaluation else None,
         )
-        result = search.run(iterations)
+        with tracer.span("nas.search.one_stage_search", iterations=iterations) as span:
+            result = search.run(iterations)
+            span.attributes.update(best_score=float(result.best_score), evaluations=result.evaluations)
         best = result.best
         return SearchResult(
             best_architecture=best,

@@ -33,6 +33,7 @@ from repro.nas.ops import COMBINE_DIMS, FunctionSet, OperationType
 from repro.nn import functional as F
 from repro.nn.layers import Linear, Module
 from repro.nn.tensor import Tensor, concatenate, is_grad_enabled
+from repro.obs.metrics import get_metrics
 
 __all__ = ["SupernetConfig", "Supernet"]
 
@@ -109,6 +110,7 @@ class _PositionBlock(Module):
                 x, edge_index, message_type, aggregator, num_nodes=x.shape[0], validated=True
             )
         else:
+            get_metrics().count("graph.materialized.dispatch")
             messages = build_messages(x, edge_index, message_type, validated=True)
             reduced = scatter(messages, edge_index[1], x.shape[0], aggregator, validated=True)
         width = message_dim(message_type, self.hidden_dim)

@@ -14,6 +14,8 @@ from repro.nn.layers import Module
 from repro.nn.loss import accuracy, balanced_accuracy, cross_entropy
 from repro.nn.optim import Adam, clip_grad_norm
 from repro.nn.tensor import no_grad
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 
 __all__ = [
     "TrainingHistory",
@@ -86,26 +88,33 @@ def train_classifier(
     rng = rng if rng is not None else np.random.default_rng(0)
     optimizer = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
     history = TrainingHistory()
-    for _ in range(epochs):
-        model.train()
-        loader = _make_loader(train_dataset, batch_size, shuffle=True, rng=rng)
-        epoch_losses: list[float] = []
-        epoch_accs: list[float] = []
-        for batch in loader:
-            logits = model(batch)
-            loss = cross_entropy(logits, batch.labels)
-            model.zero_grad()
-            loss.backward()
-            clip_grad_norm(model.parameters(), grad_clip)
-            optimizer.step()
-            epoch_losses.append(loss.item())
-            epoch_accs.append(accuracy(logits, batch.labels))
-        history.losses.append(float(np.mean(epoch_losses)))
-        history.train_accuracies.append(float(np.mean(epoch_accs)))
-        if val_dataset is not None:
-            history.val_accuracies.append(
-                evaluate_classifier(model, val_dataset, batch_size).overall_accuracy
+    for epoch in range(epochs):
+        with get_tracer().span("nn.classifier.epoch", epoch=epoch) as span:
+            model.train()
+            loader = _make_loader(train_dataset, batch_size, shuffle=True, rng=rng)
+            epoch_losses: list[float] = []
+            epoch_accs: list[float] = []
+            for batch in loader:
+                logits = model(batch)
+                loss = cross_entropy(logits, batch.labels)
+                model.zero_grad()
+                loss.backward()
+                clip_grad_norm(model.parameters(), grad_clip)
+                optimizer.step()
+                epoch_losses.append(loss.item())
+                epoch_accs.append(accuracy(logits, batch.labels))
+            history.losses.append(float(np.mean(epoch_losses)))
+            history.train_accuracies.append(float(np.mean(epoch_accs)))
+            if val_dataset is not None:
+                history.val_accuracies.append(
+                    evaluate_classifier(model, val_dataset, batch_size).overall_accuracy
+                )
+            span.attributes.update(
+                batches=len(epoch_losses),
+                loss=history.losses[-1],
+                accuracy=history.train_accuracies[-1],
             )
+        get_metrics().count("nn.classifier.epochs")
     return history
 
 
@@ -172,23 +181,30 @@ def train_supernet(
     rng = rng if rng is not None else np.random.default_rng(0)
     optimizer = Adam(supernet.parameters(), lr=lr)
     history = TrainingHistory()
-    for _ in range(epochs):
-        supernet.train()
-        loader = _make_loader(train_dataset, batch_size, shuffle=True, rng=rng)
-        epoch_losses: list[float] = []
-        epoch_accs: list[float] = []
-        for batch in loader:
-            path = path_sampler(rng)
-            logits = supernet(batch, path)
-            loss = cross_entropy(logits, batch.labels)
-            supernet.zero_grad()
-            loss.backward()
-            clip_grad_norm(supernet.parameters(), grad_clip)
-            optimizer.step()
-            epoch_losses.append(loss.item())
-            epoch_accs.append(accuracy(logits, batch.labels))
-        history.losses.append(float(np.mean(epoch_losses)))
-        history.train_accuracies.append(float(np.mean(epoch_accs)))
+    for epoch in range(epochs):
+        with get_tracer().span("nas.supernet.epoch", epoch=epoch) as span:
+            supernet.train()
+            loader = _make_loader(train_dataset, batch_size, shuffle=True, rng=rng)
+            epoch_losses: list[float] = []
+            epoch_accs: list[float] = []
+            for batch in loader:
+                path = path_sampler(rng)
+                logits = supernet(batch, path)
+                loss = cross_entropy(logits, batch.labels)
+                supernet.zero_grad()
+                loss.backward()
+                clip_grad_norm(supernet.parameters(), grad_clip)
+                optimizer.step()
+                epoch_losses.append(loss.item())
+                epoch_accs.append(accuracy(logits, batch.labels))
+            history.losses.append(float(np.mean(epoch_losses)))
+            history.train_accuracies.append(float(np.mean(epoch_accs)))
+            span.attributes.update(
+                batches=len(epoch_losses),
+                loss=history.losses[-1],
+                accuracy=history.train_accuracies[-1],
+            )
+        get_metrics().count("nas.supernet.epochs")
     return history
 
 

@@ -1,0 +1,96 @@
+"""Unified observability: span tracing, mergeable metrics, exporters.
+
+The stack instruments itself against two process-global singletons — a
+:class:`~repro.obs.tracer.Tracer` (nested, timestamped spans; see
+:func:`trace_span`) and a :class:`~repro.obs.metrics.MetricsRegistry`
+(counters, gauges, fixed-bucket histograms whose snapshots serialize to
+JSON and merge across processes).  :mod:`repro.obs.export` persists runs
+into the workspace :class:`~repro.workspace.store.ArtifactStore` (stage
+``obs``, with ``spans.jsonl``/``metrics.json`` side files) and renders
+them for humans; the ``repro`` CLI exposes it all via ``--trace`` and the
+``repro report`` subcommand.
+
+Metric names follow ``layer.component.name`` (``graph.fused.dispatch``,
+``nas.evolution.generations``, ``serving.request.latency_ms``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+from repro.obs.export import (
+    OBS_STAGE,
+    format_metrics,
+    format_run,
+    format_span_tree,
+    list_runs,
+    load_run,
+    save_run,
+    span_rows,
+    write_metrics_json,
+    write_spans_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    merge_snapshots,
+    set_metrics,
+    use_metrics,
+)
+from repro.obs.tracer import Span, Tracer, get_tracer, set_tracer, trace_span, use_tracer
+
+__all__ = [
+    "OBS_STAGE",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "format_metrics",
+    "format_run",
+    "format_span_tree",
+    "get_metrics",
+    "get_tracer",
+    "list_runs",
+    "load_run",
+    "merge_snapshots",
+    "observability_disabled",
+    "reset_observability",
+    "save_run",
+    "set_metrics",
+    "set_tracer",
+    "span_rows",
+    "trace_span",
+    "use_metrics",
+    "use_tracer",
+    "write_metrics_json",
+    "write_spans_jsonl",
+]
+
+
+def reset_observability() -> None:
+    """Clear the default tracer's spans and the default registry's metrics."""
+    get_tracer().reset()
+    get_metrics().reset()
+
+
+@contextlib.contextmanager
+def observability_disabled() -> Iterator[None]:
+    """Turn the default tracer and registry off within a scope.
+
+    Used by the overhead benchmark to measure the instrumented hot paths
+    with recording compiled down to one boolean check per call site.
+    """
+    tracer, metrics = get_tracer(), get_metrics()
+    previous = (tracer.enabled, metrics.enabled)
+    tracer.enabled = False
+    metrics.enabled = False
+    try:
+        yield
+    finally:
+        tracer.enabled, metrics.enabled = previous

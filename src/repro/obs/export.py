@@ -1,0 +1,237 @@
+"""Exporters for traces and metrics: JSONL dumps, artifact runs, formatters.
+
+Two consumption paths:
+
+* **Machines** — :func:`write_spans_jsonl` / :func:`write_metrics_json`
+  write plain files, and :func:`save_run` persists one observability run
+  (spans + metrics snapshot) into an
+  :class:`~repro.workspace.store.ArtifactStore` under the ``obs`` stage.
+  Rooted stores additionally get ``obs/<key>/spans.jsonl`` and
+  ``obs/<key>/metrics.json`` next to the artifact's ``meta.json``, so
+  external tooling can tail the span stream without parsing artifacts.
+* **Humans** — :func:`format_span_tree` renders the nested span tree with
+  durations and attributes, :func:`format_metrics` the metric summary, and
+  :func:`format_run` a whole persisted run (what ``repro report`` prints).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from typing import Iterable, Mapping, Sequence
+
+from repro.obs.metrics import MetricsRegistry, get_metrics
+from repro.obs.tracer import Span, Tracer, get_tracer
+
+__all__ = [
+    "OBS_STAGE",
+    "span_rows",
+    "write_spans_jsonl",
+    "write_metrics_json",
+    "format_span_tree",
+    "format_metrics",
+    "format_run",
+    "save_run",
+    "list_runs",
+    "load_run",
+]
+
+#: Artifact-store stage name observability runs are persisted under.
+OBS_STAGE = "obs"
+
+
+def span_rows(spans: "Tracer | Iterable[Span | Mapping]") -> list[dict]:
+    """Normalise a tracer / span list into JSON-serializable rows."""
+    if isinstance(spans, Tracer):
+        return spans.snapshot()
+    return [span.to_dict() if isinstance(span, Span) else dict(span) for span in spans]
+
+
+def write_spans_jsonl(path: str | pathlib.Path, spans: "Tracer | Iterable[Span | Mapping]") -> pathlib.Path:
+    """Write one JSON object per span (start order) to ``path``."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    rows = span_rows(spans)
+    with path.open("w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True) + "\n")
+    return path
+
+
+def write_metrics_json(path: str | pathlib.Path, metrics: "MetricsRegistry | Mapping") -> pathlib.Path:
+    """Write a registry snapshot as pretty-printed JSON to ``path``."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    snapshot = metrics.snapshot() if isinstance(metrics, MetricsRegistry) else dict(metrics)
+    path.write_text(json.dumps(snapshot, sort_keys=True, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+# ------------------------------------------------------------------ #
+# Human-readable formatting
+# ------------------------------------------------------------------ #
+def _format_attributes(attributes: Mapping) -> str:
+    if not attributes:
+        return ""
+    parts = []
+    for key in sorted(attributes):
+        value = attributes[key]
+        if isinstance(value, float):
+            value = f"{value:.4g}"
+        parts.append(f"{key}={value}")
+    return "  [" + " ".join(parts) + "]"
+
+
+def format_span_tree(spans: "Tracer | Iterable[Span | Mapping]", time_unit: str = "ms") -> str:
+    """Render spans as an indented tree with durations and attributes.
+
+    Orphan spans (parent dropped by the tracer's retention cap) are
+    promoted to roots rather than lost.
+    """
+    rows = span_rows(spans)
+    if not rows:
+        return "(no spans recorded)"
+    scale, unit = (1e3, "ms") if time_unit == "ms" else (1.0, "s")
+    by_id = {row["span_id"]: row for row in rows}
+    children: dict[object, list[dict]] = {}
+    roots: list[dict] = []
+    for row in rows:
+        parent = row.get("parent_id")
+        if parent is not None and parent in by_id:
+            children.setdefault(parent, []).append(row)
+        else:
+            roots.append(row)
+
+    lines: list[str] = []
+
+    def render(row: dict, depth: int) -> None:
+        duration = row.get("duration") or 0.0
+        marker = "" if row.get("status", "ok") == "ok" else f"  !! {row.get('error')}"
+        lines.append(
+            f"{'  ' * depth}- {row['name']}  {duration * scale:.2f} {unit}"
+            f"{_format_attributes(row.get('attributes') or {})}{marker}"
+        )
+        for child in children.get(row["span_id"], ()):
+            render(child, depth + 1)
+
+    for root in roots:
+        render(root, 0)
+    return "\n".join(lines)
+
+
+def format_metrics(metrics: "MetricsRegistry | Mapping", percentiles: Sequence[float] = (50.0, 95.0, 99.0)) -> str:
+    """Render a metrics snapshot as aligned, name-sorted summary lines."""
+    snapshot = metrics.snapshot() if isinstance(metrics, MetricsRegistry) else dict(metrics)
+    if not snapshot:
+        return "(no metrics recorded)"
+    lines = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        kind = entry.get("type")
+        if kind == "counter":
+            value = entry["value"]
+            rendered = f"{value:g}" if isinstance(value, float) else str(value)
+            lines.append(f"{name} = {rendered}")
+        elif kind == "gauge":
+            value = entry.get("value")
+            rendered = "-" if value is None else f"{value:.6g}"
+            lines.append(f"{name} = {rendered} ({entry.get('aggregate', 'max')} of {entry.get('updates', 0)} updates)")
+        elif kind == "histogram":
+            registry = MetricsRegistry.from_snapshot({name: entry})
+            histogram = registry.histogram(name, buckets=entry["buckets"])
+            stats = " ".join(
+                f"p{p:g}={histogram.percentile(p):.4g}" for p in percentiles
+            )
+            lines.append(
+                f"{name}: count={histogram.count} mean={histogram.mean:.4g} "
+                f"min={histogram.min if histogram.min is not None else '-'} "
+                f"max={histogram.max if histogram.max is not None else '-'} {stats}"
+            )
+        else:
+            lines.append(f"{name}: (unknown metric type '{kind}')")
+    return "\n".join(lines)
+
+
+def format_run(meta: Mapping) -> str:
+    """Render one persisted observability run (label, span tree, metrics)."""
+    label = meta.get("label", "run")
+    created = meta.get("created_at")
+    when = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(created)) if created else "unknown time"
+    sections = [
+        f"== obs run '{label}' ({when}) ==",
+        "-- spans --",
+        format_span_tree(meta.get("spans") or []),
+        "-- metrics --",
+        format_metrics(meta.get("metrics") or {}),
+    ]
+    return "\n".join(sections)
+
+
+# ------------------------------------------------------------------ #
+# Artifact-store persistence
+# ------------------------------------------------------------------ #
+def save_run(
+    store,
+    label: str,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+    extra_meta: Mapping | None = None,
+) -> str:
+    """Persist one observability run into ``store`` under the ``obs`` stage.
+
+    The run captures the tracer's span rows and the registry's metric
+    snapshot (defaults: the process-global ones).  Returns the artifact
+    key; ``load_run(store)`` with no key loads the most recent run.
+    """
+    tracer = tracer if tracer is not None else get_tracer()
+    metrics = metrics if metrics is not None else get_metrics()
+    created_at = time.time()
+    spans = tracer.snapshot()
+    snapshot = metrics.snapshot()
+    meta = {
+        "label": label,
+        "created_at": created_at,
+        "pid": os.getpid(),
+        "num_spans": len(spans),
+        "dropped_spans": tracer.dropped,
+        "spans": spans,
+        "metrics": snapshot,
+    }
+    if extra_meta:
+        meta.update(extra_meta)
+    key = store.key_for(OBS_STAGE, {"label": label, "created_at": created_at, "pid": os.getpid()})
+    artifact = store.save(OBS_STAGE, key, meta=meta)
+    if artifact.path is not None:
+        write_spans_jsonl(artifact.path / "spans.jsonl", spans)
+        write_metrics_json(artifact.path / "metrics.json", snapshot)
+    return key
+
+
+def list_runs(store) -> list[tuple[str, dict]]:
+    """All persisted runs as ``(key, meta)``, oldest first by ``created_at``."""
+    runs = []
+    for key in store.keys(OBS_STAGE):
+        artifact = store.load(OBS_STAGE, key)
+        if artifact is not None:
+            runs.append((key, artifact.meta))
+    runs.sort(key=lambda item: (item[1].get("created_at") or 0.0, item[0]))
+    return runs
+
+
+def load_run(store, key: str | None = None) -> tuple[str, dict]:
+    """Load one run's ``(key, meta)``; the most recent one when ``key`` is None.
+
+    Raises:
+        KeyError: When the store holds no (matching) observability run.
+    """
+    if key is not None:
+        artifact = store.load(OBS_STAGE, key)
+        if artifact is None:
+            raise KeyError(f"no observability run '{key}' in this store")
+        return key, artifact.meta
+    runs = list_runs(store)
+    if not runs:
+        raise KeyError("no observability runs in this store; run a stage with --trace first")
+    return runs[-1]

@@ -1,0 +1,206 @@
+"""Nested span tracing over a pluggable clock.
+
+A :class:`Tracer` records where time goes as a tree of named spans.  The
+clock is any zero-argument callable returning seconds: the default is
+``time.perf_counter`` (wall clock, like :class:`repro.utils.timer.Timer`),
+but passing ``clock=lambda: virtual_clock.now`` attributes *simulated*
+search time instead — the HGNAS ablations charge supernet epochs, accuracy
+evaluations and latency queries to a
+:class:`~repro.utils.timer.VirtualClock`, and a virtual-clock tracer shows
+exactly which stage spent it, deterministically.
+
+Spans are recorded flat (start order) with ``parent_id`` links, which is
+what the JSONL exporter wants; :func:`repro.obs.export.format_span_tree`
+rebuilds the tree for humans.  Instrumented code uses the process-global
+default tracer through :func:`trace_span`, which works both as a context
+manager and as a decorator::
+
+    with trace_span("workspace.search", device="jetson-tx2") as span:
+        ...
+        span.attributes["cache_hit"] = False
+
+    @trace_span("predictor.train")
+    def train(...): ...
+
+Exception safety: a span whose body raises is closed with ``status="error"``
+and the exception text before the exception propagates, so partial traces
+of failed runs still read correctly.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import functools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "trace_span",
+]
+
+
+@dataclass
+class Span:
+    """One timed, named, attributed interval; nested via ``parent_id``."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float
+    end: float | None = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+    status: str = "ok"
+    error: str | None = None
+
+    @property
+    def duration(self) -> float:
+        """Seconds between start and end (0.0 while the span is open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def to_dict(self) -> dict:
+        """JSON-serializable row (one JSONL line per span)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attributes": dict(self.attributes),
+            "status": self.status,
+            "error": self.error,
+        }
+
+
+class Tracer:
+    """Collects nested spans against a pluggable clock.
+
+    Args:
+        clock: Zero-argument callable returning seconds (default:
+            ``time.perf_counter``).  Pass ``lambda: virtual_clock.now`` for
+            deterministic search-time attribution.
+        max_spans: Retention cap; spans beyond it are dropped (counted in
+            :attr:`dropped`) so a runaway loop cannot exhaust memory.
+        enabled: A disabled tracer yields detached spans and records nothing.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        max_spans: int = 100_000,
+        enabled: bool = True,
+    ):
+        if max_spans <= 0:
+            raise ValueError(f"max_spans must be positive, got {max_spans}")
+        self.clock = clock if clock is not None else time.perf_counter
+        self.max_spans = max_spans
+        self.enabled = enabled
+        self.spans: list[Span] = []
+        self.dropped = 0
+        self._stack: list[Span] = []
+        self._next_id = 0
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @contextlib.contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Open a child span of the current span for the duration of the block."""
+        if not self.enabled:
+            # Detached span: attribute writes in the body stay safe, nothing
+            # is recorded and the clock is never consulted.
+            yield Span(name=name, span_id=-1, parent_id=None, start=0.0, end=0.0)
+            return
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=parent,
+            start=self.clock(),
+            attributes=dict(attributes),
+        )
+        self._next_id += 1
+        if len(self.spans) < self.max_spans:
+            self.spans.append(span)
+        else:
+            self.dropped += 1
+        self._stack.append(span)
+        try:
+            yield span
+        except BaseException as exc:
+            span.status = "error"
+            span.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            span.end = self.clock()
+            self._stack.pop()
+
+    def reset(self) -> None:
+        """Drop all recorded spans (open spans keep recording into the void)."""
+        self.spans = []
+        self.dropped = 0
+        self._stack = []
+        self._next_id = 0
+
+    def snapshot(self) -> list[dict]:
+        """JSON-serializable rows of every recorded span, in start order."""
+        return [span.to_dict() for span in self.spans]
+
+
+class trace_span:
+    """Span on the *default* tracer; context manager and decorator in one."""
+
+    def __init__(self, name: str, **attributes: Any):
+        self.name = name
+        self.attributes = attributes
+        self._cm = None
+
+    def __enter__(self) -> Span:
+        self._cm = get_tracer().span(self.name, **self.attributes)
+        return self._cm.__enter__()
+
+    def __exit__(self, *exc_info) -> bool | None:
+        cm, self._cm = self._cm, None
+        return cm.__exit__(*exc_info)
+
+    def __call__(self, fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with get_tracer().span(self.name, **self.attributes):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+_DEFAULT_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-global default tracer instrumentation records into."""
+    return _DEFAULT_TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Replace the default tracer; returns the previous one."""
+    global _DEFAULT_TRACER
+    previous = _DEFAULT_TRACER
+    _DEFAULT_TRACER = tracer
+    return previous
+
+
+@contextlib.contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Scope the default tracer (e.g. per test or per CLI run)."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

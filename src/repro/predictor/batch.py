@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.graph.scatter import scatter_max, scatter_sum
 from repro.nn.tensor import Tensor, concatenate, no_grad
+from repro.obs.metrics import get_metrics
 from repro.predictor.arch_graph import ArchitectureGraph
 
 __all__ = ["GraphBatch", "collate_graphs", "forward_graph_batch", "predict_latencies"]
@@ -160,6 +161,11 @@ def predict_latencies(predictor, graphs: Sequence[ArchitectureGraph]) -> np.ndar
     groups: dict[int, list[int]] = {}
     for index, graph in enumerate(graphs):
         groups.setdefault(graph.num_nodes, []).append(index)
+    metrics = get_metrics()
+    metrics.count("predictor.batch.calls")
+    metrics.count("predictor.batch.graphs", len(graphs))
+    metrics.count("predictor.batch.groups", len(groups))
+    metrics.observe("predictor.batch.size", float(len(graphs)))
     latencies = np.empty(len(graphs), dtype=np.float64)
     with no_grad():
         for indices in groups.values():

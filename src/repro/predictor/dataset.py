@@ -18,6 +18,8 @@ from repro.hardware.device import DeviceSpec
 from repro.hardware.latency import estimate_latency
 from repro.nas.architecture import Architecture
 from repro.nas.design_space import DesignSpace
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 from repro.predictor.arch_graph import ArchitectureGraph, architecture_to_graph
 
 __all__ = ["PredictorSample", "PredictorDataset", "generate_predictor_dataset"]
@@ -97,19 +99,21 @@ def generate_predictor_dataset(
     num_classes = num_classes or config.num_classes
     samples: list[PredictorSample] = []
     seen: set[tuple] = set()
-    while len(samples) < num_samples:
-        architecture = design_space.random_architecture(rng)
-        key = architecture.key()
-        if key in seen:
-            continue
-        seen.add(key)
-        workload = architecture.to_workload(num_points, k, num_classes)
-        latency = estimate_latency(workload, device).total_ms
-        if measurement_noise:
-            noise = 1.0 + rng.normal(0.0, device.measurement_noise)
-            latency = max(latency * noise, 1e-3)
-        graph = architecture_to_graph(
-            architecture, num_points=num_points, k=k, include_global_node=include_global_node
-        )
-        samples.append(PredictorSample(architecture=architecture, graph=graph, latency_ms=float(latency)))
+    with get_tracer().span("predictor.dataset.generate", device=device.name, num_samples=num_samples):
+        while len(samples) < num_samples:
+            architecture = design_space.random_architecture(rng)
+            key = architecture.key()
+            if key in seen:
+                continue
+            seen.add(key)
+            workload = architecture.to_workload(num_points, k, num_classes)
+            latency = estimate_latency(workload, device).total_ms
+            get_metrics().count("hardware.profile.calls")
+            if measurement_noise:
+                noise = 1.0 + rng.normal(0.0, device.measurement_noise)
+                latency = max(latency * noise, 1e-3)
+            graph = architecture_to_graph(
+                architecture, num_points=num_points, k=k, include_global_node=include_global_node
+            )
+            samples.append(PredictorSample(architecture=architecture, graph=graph, latency_ms=float(latency)))
     return PredictorDataset(device=device.name, samples=samples, num_points=num_points, k=k)

@@ -1,25 +1,38 @@
-"""Per-model serving telemetry.
+"""Per-model serving telemetry, built on the :mod:`repro.obs` primitives.
 
 Tracks, per deployed model, a rolling window of request latencies
 (queueing + batch execution), batch sizes, throughput derived from the
 cumulative busy time of a :class:`repro.utils.timer.Timer`, admission
 rejections and the peak queue depth.  The engine injects its cache
 counters so one report covers the whole serving stack.
+
+Counts live in :class:`~repro.obs.metrics.Counter` objects and the rolling
+windows in windowed :class:`~repro.obs.metrics.Histogram` objects, so a
+worker's telemetry has a JSON-serializable :meth:`ModelTelemetry.snapshot`
+and an exact :meth:`ModelTelemetry.merge` — the aggregation primitive a
+multi-worker frontend needs.  The public ``report()`` shapes are unchanged
+from the pre-:mod:`repro.obs` implementation.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.obs.metrics import Counter, Histogram
 from repro.serving.cache import CacheStats
 from repro.utils.timer import Timer
 
 __all__ = ["ModelTelemetry", "TelemetryStore"]
 
 _PERCENTILES = (50.0, 95.0, 99.0)
+
+#: Millisecond-scale buckets for request latency / queueing histograms.
+_MS_BUCKETS = (0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0)
+
+#: Power-of-two-ish buckets for batch-size histograms.
+_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
 
 
 class ModelTelemetry:
@@ -29,38 +42,83 @@ class ModelTelemetry:
         if window <= 0:
             raise ValueError(f"window must be positive, got {window}")
         self.window = window
-        self.latencies_ms: Deque[float] = deque(maxlen=window)
-        self.queue_ms: Deque[float] = deque(maxlen=window)
-        self.batch_sizes: Deque[int] = deque(maxlen=window)
-        self.served = 0
-        self.cache_hits = 0
-        self.rejected = 0
-        self.batches = 0
+        self._latency = Histogram("serving.request.latency_ms", buckets=_MS_BUCKETS, window=window)
+        self._queue = Histogram("serving.request.queue_ms", buckets=_MS_BUCKETS, window=window)
+        self._batch_size = Histogram("serving.batch.size", buckets=_SIZE_BUCKETS, window=window)
+        self._served = Counter("serving.request.served")
+        self._cache_hits = Counter("serving.request.cache_hits")
+        self._rejected = Counter("serving.request.rejected")
+        self._batches = Counter("serving.batch.count")
         self.busy = Timer()
 
+    # -------------------------------------------------------------- #
+    # Recording
+    # -------------------------------------------------------------- #
     def record_request(self, latency_ms: float, queue_ms: float, from_cache: bool) -> None:
         """Record one completed request."""
-        self.latencies_ms.append(float(latency_ms))
-        self.queue_ms.append(float(queue_ms))
-        self.served += 1
+        self._latency.observe(latency_ms)
+        self._queue.observe(queue_ms)
+        self._served.inc()
         if from_cache:
-            self.cache_hits += 1
+            self._cache_hits.inc()
 
     def record_batch(self, size: int) -> None:
         """Record one executed batch."""
-        self.batch_sizes.append(int(size))
-        self.batches += 1
+        self._batch_size.observe(size)
+        self._batches.inc()
 
     def record_rejection(self) -> None:
         """Record one request refused by admission control."""
-        self.rejected += 1
+        self._rejected.inc()
 
-    def latency_percentiles(self) -> dict[str, float]:
-        """Rolling p50/p95/p99 request latency in milliseconds."""
-        if not self.latencies_ms:
-            return {f"p{int(p)}": 0.0 for p in _PERCENTILES}
-        values = np.asarray(self.latencies_ms, dtype=np.float64)
-        return {f"p{int(p)}": float(np.percentile(values, p)) for p in _PERCENTILES}
+    # -------------------------------------------------------------- #
+    # Readers (the historical public surface)
+    # -------------------------------------------------------------- #
+    @property
+    def served(self) -> int:
+        return int(self._served.value)
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self._cache_hits.value)
+
+    @property
+    def rejected(self) -> int:
+        return int(self._rejected.value)
+
+    @property
+    def batches(self) -> int:
+        return int(self._batches.value)
+
+    @property
+    def latencies_ms(self):
+        """The rolling window of request latencies (most recent last)."""
+        return self._latency.window
+
+    @property
+    def queue_ms(self):
+        """The rolling window of queueing delays (most recent last)."""
+        return self._queue.window
+
+    @property
+    def batch_sizes(self):
+        """The rolling window of executed batch sizes (most recent last)."""
+        return self._batch_size.window
+
+    def latency_percentiles(self, percentiles: Sequence[float] | None = None) -> dict[str, float]:
+        """Rolling request-latency percentiles in milliseconds.
+
+        Args:
+            percentiles: Percentile ranks in ``[0, 100]``; defaults to
+                p50/p95/p99.  Keys are derived once as ``f"p{p:g}"``
+                (``p50``, ``p99.9``, ...).
+        """
+        percentiles = _PERCENTILES if percentiles is None else tuple(percentiles)
+        keys = [f"p{p:g}" for p in percentiles]
+        if not self._latency.window:
+            return {key: 0.0 for key in keys}
+        values = np.asarray(self._latency.window, dtype=np.float64)
+        return {key: float(np.percentile(values, p)) for key, p in zip(keys, percentiles)}
 
     @property
     def throughput_rps(self) -> float:
@@ -69,11 +127,12 @@ class ModelTelemetry:
 
     @property
     def mean_batch_size(self) -> float:
-        sizes = self.batch_sizes
+        sizes = self._batch_size.window
         return float(np.mean(sizes)) if sizes else 0.0
 
-    def report(self) -> dict[str, object]:
+    def report(self, percentiles: Sequence[float] | None = None) -> dict[str, object]:
         """Snapshot of every statistic as a JSON-compatible dict."""
+        queue = self._queue.window
         return {
             "served": self.served,
             "rejected": self.rejected,
@@ -82,9 +141,42 @@ class ModelTelemetry:
             "throughput_rps": round(self.throughput_rps, 2),
             "busy_s": round(self.busy.elapsed, 4),
             "result_cache_hits": self.cache_hits,
-            "mean_queue_ms": round(float(np.mean(self.queue_ms)) if self.queue_ms else 0.0, 3),
-            "latency_ms": {k: round(v, 3) for k, v in self.latency_percentiles().items()},
+            "mean_queue_ms": round(float(np.mean(queue)) if queue else 0.0, 3),
+            "latency_ms": {k: round(v, 3) for k, v in self.latency_percentiles(percentiles).items()},
         }
+
+    # -------------------------------------------------------------- #
+    # Cross-worker aggregation
+    # -------------------------------------------------------------- #
+    def snapshot(self) -> dict:
+        """JSON-serializable state, mergeable via :meth:`merge`."""
+        return {
+            "window": self.window,
+            "busy_s": self.busy.elapsed,
+            "latency": self._latency.snapshot(),
+            "queue": self._queue.snapshot(),
+            "batch_size": self._batch_size.snapshot(),
+            "served": self._served.snapshot(),
+            "cache_hits": self._cache_hits.snapshot(),
+            "rejected": self._rejected.snapshot(),
+            "batches": self._batches.snapshot(),
+        }
+
+    def merge(self, snapshot: Mapping) -> "ModelTelemetry":
+        """Fold another worker's :meth:`snapshot` into this telemetry.
+
+        Counts and busy time add exactly; the rolling windows concatenate
+        and truncate to this telemetry's window size.
+        """
+        self._latency.merge(snapshot["latency"])
+        self._queue.merge(snapshot["queue"])
+        self._batch_size.merge(snapshot["batch_size"])
+        self._served.merge(snapshot["served"])
+        self._cache_hits.merge(snapshot["cache_hits"])
+        self._rejected.merge(snapshot["rejected"])
+        self._batches.merge(snapshot["batches"])
+        self.busy.elapsed += float(snapshot.get("busy_s", 0.0))
+        return self
 
 
 class TelemetryStore:
@@ -105,10 +197,36 @@ class TelemetryStore:
         """Track the high-water mark of the request queue."""
         self.peak_queue_depth = max(self.peak_queue_depth, int(depth))
 
-    def report(self, cache_stats: Mapping[str, CacheStats] | None = None) -> dict[str, object]:
-        """Aggregate report over all models plus engine-level gauges."""
+    def snapshot(self) -> dict:
+        """JSON-serializable state of every model, mergeable via :meth:`merge`."""
+        return {
+            "peak_queue_depth": self.peak_queue_depth,
+            "models": {name: telemetry.snapshot() for name, telemetry in self._models.items()},
+        }
+
+    def merge(self, snapshot: Mapping) -> "TelemetryStore":
+        """Fold another worker's :meth:`snapshot` into this store."""
+        self.peak_queue_depth = max(self.peak_queue_depth, int(snapshot.get("peak_queue_depth", 0)))
+        for name, model_snapshot in snapshot.get("models", {}).items():
+            self.model(name).merge(model_snapshot)
+        return self
+
+    def report(
+        self,
+        cache_stats: Mapping[str, CacheStats] | None = None,
+        percentiles: Sequence[float] | None = None,
+    ) -> dict[str, object]:
+        """Aggregate report over all models plus engine-level gauges.
+
+        Args:
+            cache_stats: Engine cache counters to embed under ``"caches"``.
+            percentiles: Latency percentile ranks (default p50/p95/p99),
+                forwarded to every model's :meth:`ModelTelemetry.report`.
+        """
         report: dict[str, object] = {
-            "models": {name: telemetry.report() for name, telemetry in self._models.items()},
+            "models": {
+                name: telemetry.report(percentiles) for name, telemetry in self._models.items()
+            },
             "peak_queue_depth": self.peak_queue_depth,
         }
         if cache_stats:

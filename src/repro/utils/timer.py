@@ -24,8 +24,16 @@ class Timer:
     _started_at: float | None = field(default=None, repr=False)
 
     def start(self) -> "Timer":
-        """Start (or restart) the timer."""
-        self._started_at = time.perf_counter()
+        """Start (or restart) the timer.
+
+        Restarting a running timer banks the in-flight interval into
+        :attr:`elapsed` before restarting, so no measured time is silently
+        discarded (the historical behaviour dropped it).
+        """
+        now = time.perf_counter()
+        if self._started_at is not None:
+            self.elapsed += now - self._started_at
+        self._started_at = now
         return self
 
     def stop(self) -> float:

@@ -36,6 +36,7 @@ from repro.nas.latency_eval import EvaluatorRequest, list_latency_evaluators, ma
 from repro.nas.ops import FunctionSet
 from repro.nas.search import HGNAS, HGNASConfig, SearchResult
 from repro.nas.trainer import train_classifier
+from repro.obs.tracer import trace_span
 from repro.predictor.dataset import generate_predictor_dataset
 from repro.predictor.metrics import PredictorMetrics
 from repro.predictor.model import LatencyPredictor, PredictorConfig
@@ -160,9 +161,10 @@ class Workspace:
         num_classes: int | None = None,
     ) -> ProfileResult:
         """Latency breakdown and peak memory of ``architecture`` on this device."""
-        scenario = self.defaults.resolve(num_points=num_points, k=k, num_classes=num_classes)
-        workload = architecture.to_workload(scenario.num_points, scenario.k, scenario.num_classes)
-        return profile_workload(workload, self.device)
+        with trace_span("workspace.profile", device=self.device.name):
+            scenario = self.defaults.resolve(num_points=num_points, k=k, num_classes=num_classes)
+            workload = architecture.to_workload(scenario.num_points, scenario.k, scenario.num_classes)
+            return profile_workload(workload, self.device)
 
     def measure_latency(
         self,
@@ -174,18 +176,19 @@ class Workspace:
         seed: int | None = None,
     ) -> float:
         """Latency (ms) on this device, optionally with simulated measurement noise."""
-        scenario = self.defaults.resolve(num_points=num_points, k=k, num_classes=num_classes, seed=seed)
-        evaluator = make_latency_evaluator(
-            "measurement" if noisy else "oracle",
-            EvaluatorRequest(
-                device=self.device,
-                num_points=scenario.num_points,
-                k=scenario.k,
-                num_classes=scenario.num_classes,
-                seed=scenario.seed,
-            ),
-        )
-        return float(evaluator.evaluate(architecture))
+        with trace_span("workspace.measure_latency", device=self.device.name, noisy=noisy):
+            scenario = self.defaults.resolve(num_points=num_points, k=k, num_classes=num_classes, seed=seed)
+            evaluator = make_latency_evaluator(
+                "measurement" if noisy else "oracle",
+                EvaluatorRequest(
+                    device=self.device,
+                    num_points=scenario.num_points,
+                    k=scenario.k,
+                    num_classes=scenario.num_classes,
+                    seed=scenario.seed,
+                ),
+            )
+            return float(evaluator.evaluate(architecture))
 
     # ------------------------------------------------------------------ #
     # Stage 2: latency predictor
@@ -207,55 +210,58 @@ class Workspace:
         result is persisted in the artifact store keyed by device, sampling
         scale, both configs and seed, so an identical call skips training.
         """
-        seed = self.defaults.seed if seed is None else seed
-        predictor_config = predictor_config or PredictorConfig(
-            gcn_dims=(32, 48, 48),
-            mlp_dims=(32, 16),
-            num_points=self.defaults.num_points,
-            k=self.defaults.k,
-            seed=seed,
-        )
-        training_config = training_config or PredictorTrainingConfig(
-            epochs=epochs, batch_size=32, learning_rate=1e-2, seed=seed
-        )
-        space_config = DesignSpaceConfig(
-            num_positions=num_positions, k=self.defaults.k, num_points=self.defaults.num_points
-        )
-        key = self.store.key_for(
-            "predictor",
-            {
-                "device": self._device_key(),
-                "num_samples": num_samples,
-                "space": dataclasses.asdict(space_config),
-                "predictor_config": dataclasses.asdict(predictor_config),
-                "training_config": dataclasses.asdict(training_config),
-                "seed": seed,
-            },
-        )
-        if not fresh:
-            cached = self.store.load("predictor", key)
-            if cached is not None:
-                _LOGGER.info("predictor cache hit (%s)", key)
-                return self._predictor_bundle_from_artifact(cached)
-        rng = np.random.default_rng(seed)
-        dataset = generate_predictor_dataset(DesignSpace(space_config), self.device, num_samples, rng)
-        train_split, val_split = dataset.split(0.75, rng)
-        predictor = LatencyPredictor(predictor_config)
-        train_predictor(predictor, train_split, val_split, training_config)
-        metrics = evaluate_predictor(predictor, val_split)
-        self.store.save(
-            "predictor",
-            key,
-            meta={
-                "device": self.device.name,
-                "predictor_config": dataclasses.asdict(predictor_config),
-                "target_mean": predictor.target_mean,
-                "target_std": predictor.target_std,
-                "metrics": dataclasses.asdict(metrics),
-            },
-            arrays=predictor.state_dict(),
-        )
-        return PredictorBundle(predictor=predictor, metrics=metrics, device=self.device.name)
+        with trace_span("workspace.train_predictor", device=self.device.name) as span:
+            seed = self.defaults.seed if seed is None else seed
+            predictor_config = predictor_config or PredictorConfig(
+                gcn_dims=(32, 48, 48),
+                mlp_dims=(32, 16),
+                num_points=self.defaults.num_points,
+                k=self.defaults.k,
+                seed=seed,
+            )
+            training_config = training_config or PredictorTrainingConfig(
+                epochs=epochs, batch_size=32, learning_rate=1e-2, seed=seed
+            )
+            space_config = DesignSpaceConfig(
+                num_positions=num_positions, k=self.defaults.k, num_points=self.defaults.num_points
+            )
+            key = self.store.key_for(
+                "predictor",
+                {
+                    "device": self._device_key(),
+                    "num_samples": num_samples,
+                    "space": dataclasses.asdict(space_config),
+                    "predictor_config": dataclasses.asdict(predictor_config),
+                    "training_config": dataclasses.asdict(training_config),
+                    "seed": seed,
+                },
+            )
+            if not fresh:
+                cached = self.store.load("predictor", key)
+                if cached is not None:
+                    _LOGGER.info("predictor cache hit (%s)", key)
+                    span.attributes["cache_hit"] = True
+                    return self._predictor_bundle_from_artifact(cached)
+            span.attributes["cache_hit"] = False
+            rng = np.random.default_rng(seed)
+            dataset = generate_predictor_dataset(DesignSpace(space_config), self.device, num_samples, rng)
+            train_split, val_split = dataset.split(0.75, rng)
+            predictor = LatencyPredictor(predictor_config)
+            train_predictor(predictor, train_split, val_split, training_config)
+            metrics = evaluate_predictor(predictor, val_split)
+            self.store.save(
+                "predictor",
+                key,
+                meta={
+                    "device": self.device.name,
+                    "predictor_config": dataclasses.asdict(predictor_config),
+                    "target_mean": predictor.target_mean,
+                    "target_std": predictor.target_std,
+                    "metrics": dataclasses.asdict(metrics),
+                },
+                arrays=predictor.state_dict(),
+            )
+            return PredictorBundle(predictor=predictor, metrics=metrics, device=self.device.name)
 
     def _predictor_bundle_from_artifact(self, artifact) -> PredictorBundle:
         # Pass every stored field through so a PredictorConfig grown later
@@ -349,34 +355,44 @@ class Workspace:
                 ),
             },
         )
-        if not fresh:
-            cached = self.store.load("search", key)
-            if cached is not None:
-                _LOGGER.info("search cache hit (%s)", key)
-                return _search_result_from_meta(cached.meta)
+        with trace_span(
+            "workspace.search", device=self.device.name, oracle=oracle, strategy=strategy
+        ) as span:
+            if not fresh:
+                cached = self.store.load("search", key)
+                if cached is not None:
+                    _LOGGER.info("search cache hit (%s)", key)
+                    span.attributes["cache_hit"] = True
+                    return _search_result_from_meta(cached.meta)
+            span.attributes["cache_hit"] = False
 
-        def predictor_factory() -> LatencyPredictor:
-            return self.train_predictor(
-                num_samples=predictor_num_samples,
-                num_positions=config.num_positions,
-                epochs=predictor_epochs,
+            def predictor_factory() -> LatencyPredictor:
+                return self.train_predictor(
+                    num_samples=predictor_num_samples,
+                    num_positions=config.num_positions,
+                    epochs=predictor_epochs,
+                    seed=seed,
+                ).predictor
+
+            search = HGNAS.for_device(
+                config,
+                train_dataset,
+                val_dataset,
+                self.device,
+                latency_oracle=oracle,
+                predictor=predictor,
+                predictor_factory=predictor_factory,
+                rng=np.random.default_rng(seed),
                 seed=seed,
-            ).predictor
-
-        search = HGNAS.for_device(
-            config,
-            train_dataset,
-            val_dataset,
-            self.device,
-            latency_oracle=oracle,
-            predictor=predictor,
-            predictor_factory=predictor_factory,
-            rng=np.random.default_rng(seed),
-            seed=seed,
-        )
-        result = search.run() if strategy == "multi-stage" else search.run_one_stage()
-        self.store.save("search", key, meta=_search_result_to_meta(result))
-        return result
+            )
+            result = search.run() if strategy == "multi-stage" else search.run_one_stage()
+            span.attributes.update(
+                best_score=float(result.best_score),
+                search_time_s=float(result.search_time_s),
+                evaluations=int(result.evaluations),
+            )
+            self.store.save("search", key, meta=_search_result_to_meta(result))
+            return result
 
     # ------------------------------------------------------------------ #
     # Stage 4: derive / deploy / serve
@@ -399,57 +415,61 @@ class Workspace:
         and training data), so re-deriving the same model loads them instead
         of re-training.  Untrained instantiation is cheap and never cached.
         """
-        scenario = self.defaults.resolve(k=k, embed_dim=embed_dim, seed=seed)
-        model = DerivedModel(
-            architecture,
-            num_classes=num_classes,
-            k=scenario.k,
-            embed_dim=scenario.embed_dim,
-            seed=scenario.seed,
-        )
-        if train_dataset is None:
-            return model
-        key = self.store.key_for(
-            "derived",
-            {
-                "architecture": architecture.to_dict(),
-                "num_classes": num_classes,
-                "k": scenario.k,
-                "embed_dim": scenario.embed_dim,
-                "seed": scenario.seed,
-                "train_data": dataset_fingerprint(train_dataset),
-                "train_epochs": train_epochs,
-                "train_batch_size": train_batch_size,
-            },
-        )
-        if not fresh:
-            cached = self.store.load("derived", key)
-            if cached is not None:
-                _LOGGER.info("derived-model cache hit (%s)", key)
-                model.load_state_dict(dict(cached.arrays))
+        with trace_span("workspace.derive", device=self.device.name) as span:
+            scenario = self.defaults.resolve(k=k, embed_dim=embed_dim, seed=seed)
+            model = DerivedModel(
+                architecture,
+                num_classes=num_classes,
+                k=scenario.k,
+                embed_dim=scenario.embed_dim,
+                seed=scenario.seed,
+            )
+            span.attributes["trained"] = train_dataset is not None
+            if train_dataset is None:
                 return model
-        train_classifier(
-            model,
-            train_dataset,
-            epochs=train_epochs,
-            batch_size=train_batch_size,
-            rng=np.random.default_rng(scenario.seed),
-        )
-        self.store.save(
-            "derived",
-            key,
-            meta={
-                "architecture": architecture.to_dict(),
-                "num_classes": num_classes,
-                "k": scenario.k,
-                "embed_dim": scenario.embed_dim,
-                "seed": scenario.seed,
-                "train_epochs": train_epochs,
-                "train_batch_size": train_batch_size,
-            },
-            arrays=model.state_dict(),
-        )
-        return model
+            key = self.store.key_for(
+                "derived",
+                {
+                    "architecture": architecture.to_dict(),
+                    "num_classes": num_classes,
+                    "k": scenario.k,
+                    "embed_dim": scenario.embed_dim,
+                    "seed": scenario.seed,
+                    "train_data": dataset_fingerprint(train_dataset),
+                    "train_epochs": train_epochs,
+                    "train_batch_size": train_batch_size,
+                },
+            )
+            if not fresh:
+                cached = self.store.load("derived", key)
+                if cached is not None:
+                    _LOGGER.info("derived-model cache hit (%s)", key)
+                    span.attributes["cache_hit"] = True
+                    model.load_state_dict(dict(cached.arrays))
+                    return model
+            span.attributes["cache_hit"] = False
+            train_classifier(
+                model,
+                train_dataset,
+                epochs=train_epochs,
+                batch_size=train_batch_size,
+                rng=np.random.default_rng(scenario.seed),
+            )
+            self.store.save(
+                "derived",
+                key,
+                meta={
+                    "architecture": architecture.to_dict(),
+                    "num_classes": num_classes,
+                    "k": scenario.k,
+                    "embed_dim": scenario.embed_dim,
+                    "seed": scenario.seed,
+                    "train_epochs": train_epochs,
+                    "train_batch_size": train_batch_size,
+                },
+                arrays=model.state_dict(),
+            )
+            return model
 
     def deploy(
         self,
@@ -467,34 +487,35 @@ class Workspace:
         fresh: bool = False,
     ) -> DeployedModel:
         """Derive (via the cache) and register ``architecture`` in this workspace's registry."""
-        scenario = self.defaults.resolve(k=k, embed_dim=embed_dim, seed=seed)
-        model = self.derive(
-            architecture,
-            num_classes,
-            k=scenario.k,
-            embed_dim=scenario.embed_dim,
-            seed=scenario.seed,
-            train_dataset=train_dataset,
-            train_epochs=train_epochs,
-            train_batch_size=train_batch_size,
-            fresh=fresh,
-        )
-        entry = self.registry.register(
-            name=name or architecture.name or "deployed",
-            architecture=architecture,
-            device=self.device,
-            num_classes=num_classes,
-            k=scenario.k,
-            embed_dim=scenario.embed_dim,
-            seed=scenario.seed,
-            slo_ms=slo_ms,
-            model=model,
-            replace=replace,
-        )
-        # Remembered by name, not registry position: a replace keeps its
-        # original insertion slot, so list()[-1] is not "most recent".
-        self._last_deployed = entry.name
-        return entry
+        with trace_span("workspace.deploy", device=self.device.name):
+            scenario = self.defaults.resolve(k=k, embed_dim=embed_dim, seed=seed)
+            model = self.derive(
+                architecture,
+                num_classes,
+                k=scenario.k,
+                embed_dim=scenario.embed_dim,
+                seed=scenario.seed,
+                train_dataset=train_dataset,
+                train_epochs=train_epochs,
+                train_batch_size=train_batch_size,
+                fresh=fresh,
+            )
+            entry = self.registry.register(
+                name=name or architecture.name or "deployed",
+                architecture=architecture,
+                device=self.device,
+                num_classes=num_classes,
+                k=scenario.k,
+                embed_dim=scenario.embed_dim,
+                seed=scenario.seed,
+                slo_ms=slo_ms,
+                model=model,
+                replace=replace,
+            )
+            # Remembered by name, not registry position: a replace keeps its
+            # original insertion slot, so list()[-1] is not "most recent".
+            self._last_deployed = entry.name
+            return entry
 
     def engine(self, config: EngineConfig | None = None) -> InferenceEngine:
         """The workspace's persistent inference engine (caches stay warm).
@@ -524,6 +545,8 @@ class Workspace:
             if not names:
                 raise ValueError("no deployed models in this workspace; call deploy() first")
             name = self._last_deployed if self._last_deployed in names else names[-1]
-        engine = self.engine(config)
-        results = engine.submit_many(name, list(clouds))
-        return ServeReport(results=results, telemetry=engine.report(), engine=engine)
+        clouds = list(clouds)
+        with trace_span("workspace.serve", device=self.device.name, model=name, requests=len(clouds)):
+            engine = self.engine(config)
+            results = engine.submit_many(name, clouds)
+            return ServeReport(results=results, telemetry=engine.report(), engine=engine)

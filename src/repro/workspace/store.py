@@ -96,6 +96,17 @@ class ArtifactStore:
         assert self.root is not None
         return self.root / stage / key
 
+    def keys(self, stage: str) -> list[str]:
+        """Every stored key of ``stage``, across the memory and disk layers."""
+        found = {key for (stored_stage, key) in self._memory if stored_stage == stage}
+        if self.root is not None:
+            stage_dir = self.root / stage
+            if stage_dir.is_dir():
+                for entry in stage_dir.iterdir():
+                    if (entry / "meta.json").exists():
+                        found.add(entry.name)
+        return sorted(found)
+
     def contains(self, stage: str, key: str) -> bool:
         """Whether an artifact exists (without counting a hit or a miss)."""
         if (stage, key) in self._memory:

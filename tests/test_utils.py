@@ -1,6 +1,7 @@
 """Tests for repro.utils (random, serialization, timer, logging)."""
 
 import logging
+import time
 
 import numpy as np
 import pytest
@@ -85,6 +86,23 @@ class TestTimer:
     def test_timer_stop_without_start_raises(self):
         with pytest.raises(RuntimeError):
             Timer().stop()
+
+    def test_timer_restart_banks_inflight_interval(self):
+        # start() on a running timer must not silently discard the interval
+        # measured so far: it accumulates into elapsed and restarts.
+        timer = Timer()
+        timer.start()
+        time.sleep(0.01)
+        timer.start()
+        banked = timer.elapsed
+        assert banked >= 0.01
+        timer.stop()
+        assert timer.elapsed >= banked
+        # The timer is stopped: a fresh start() must not bank anything more.
+        before = timer.elapsed
+        timer.start()
+        assert timer.elapsed == before
+        timer.stop()
 
     def test_timer_reset(self):
         timer = Timer()
