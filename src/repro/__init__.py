@@ -24,6 +24,10 @@ DAC 2023) on top of a pure-numpy substrate:
 * :mod:`repro.obs` -- unified observability: nested span tracing, mergeable
   counters/gauges/histograms, and exporters into the artifact store
   (``repro <stage> --trace`` / ``repro report``).
+* :mod:`repro.analysis` -- static analysis: the symbolic shape/dtype
+  checker over genotypes (``repro check``, pre-scoring candidate rejection
+  in evolution, O(1) serving request validation) and the repo-invariant
+  AST linter (``repro lint``).
 * :mod:`repro.workspace` -- the stateful pipeline entry point
   (:class:`~repro.workspace.Workspace`) with its content-addressed artifact
   store and the shared :class:`~repro.workspace.InferenceDefaults`.
@@ -60,6 +64,12 @@ _LAZY_EXPORTS = {
     "Workspace": "repro.workspace",
     "InferenceDefaults": "repro.workspace",
     "ArtifactStore": "repro.workspace",
+    "validate_genotype": "repro.analysis",
+    "validate_architecture": "repro.analysis",
+    "infer_signature": "repro.analysis",
+    "StaticSignature": "repro.analysis",
+    "ValidationReport": "repro.analysis",
+    "lint_paths": "repro.analysis.lint",
     "get_default_dtype": "repro.nn.dtype",
     "set_default_dtype": "repro.nn.dtype",
     "default_dtype": "repro.nn.dtype",

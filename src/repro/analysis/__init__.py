@@ -1,0 +1,35 @@
+"""Static analysis: architecture shape checking and repo-invariant linting.
+
+Two cooperating passes:
+
+* :mod:`repro.analysis.shapes` / :mod:`repro.analysis.validate` — a
+  symbolic shape/dtype abstract interpreter over design-space genotypes.
+  It rejects malformed candidates (channel mismatches, out-of-space ops,
+  degenerate ``k`` vs. point count) *without running them*, distils each
+  architecture into a :class:`StaticSignature` used for O(1) request
+  validation in serving, and backs the ``repro check`` CLI.
+* :mod:`repro.analysis.lint` — an AST rule framework enforcing the repo's
+  cross-cutting invariants (dtype policy, RNG discipline, obs naming,
+  lazy-export sync, validated-index fast paths) behind ``repro lint``.
+"""
+
+from repro.analysis.shapes import OpShape, StaticSignature, infer_signature, trace_architecture
+from repro.analysis.validate import (
+    Diagnostic,
+    ValidationReport,
+    check_model_consistency,
+    validate_architecture,
+    validate_genotype,
+)
+
+__all__ = [
+    "OpShape",
+    "StaticSignature",
+    "infer_signature",
+    "trace_architecture",
+    "Diagnostic",
+    "ValidationReport",
+    "check_model_consistency",
+    "validate_architecture",
+    "validate_genotype",
+]

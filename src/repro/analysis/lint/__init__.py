@@ -1,0 +1,38 @@
+"""Repo-invariant AST linter (``repro lint``).
+
+See :mod:`repro.analysis.lint.rules` for the invariant catalogue and
+:mod:`repro.analysis.lint.base` for the rule/waiver framework.
+"""
+
+from repro.analysis.lint.base import LintContext, LintRule, LintViolation, parse_waivers
+from repro.analysis.lint.rules import (
+    ALL_RULES,
+    DtypeLiteralRule,
+    LazyExportSyncRule,
+    ObsMetricNamingRule,
+    RngDisciplineRule,
+    UnvalidatedIndexRule,
+)
+from repro.analysis.lint.runner import (
+    default_lint_root,
+    format_violations,
+    iter_python_files,
+    lint_paths,
+)
+
+__all__ = [
+    "LintContext",
+    "LintRule",
+    "LintViolation",
+    "parse_waivers",
+    "ALL_RULES",
+    "DtypeLiteralRule",
+    "LazyExportSyncRule",
+    "ObsMetricNamingRule",
+    "RngDisciplineRule",
+    "UnvalidatedIndexRule",
+    "default_lint_root",
+    "format_violations",
+    "iter_python_files",
+    "lint_paths",
+]

@@ -1,0 +1,160 @@
+"""AST lint rule framework: violations, waivers and the rule protocol.
+
+A :class:`LintRule` inspects one module's AST and yields
+:class:`LintViolation` records.  Rules never mutate anything and never
+import the module under inspection — everything is derived from the source
+text and its parse tree, so linting broken or import-cycled code still
+works.
+
+Waivers are inline comments of the form::
+
+    some_call(validated=True)  # repro-lint: allow[unvalidated-index] edge index is pre-validated by the shared builder
+
+or a standalone comment on the line directly above the flagged one.  A
+waiver must carry a reason; a bare ``allow[rule]`` with no justification is
+itself reported (``waiver-missing-reason``), so suppressions stay auditable.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = ["LintViolation", "LintContext", "LintRule", "parse_waivers"]
+
+_WAIVER_PATTERN = re.compile(r"#\s*repro-lint:\s*allow\[(?P<rule>[a-z0-9-]+)\]\s*(?P<reason>.*)")
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """A parsed ``repro-lint: allow[...]`` comment."""
+
+    rule: str
+    line: int
+    reason: str
+
+
+def parse_waivers(source: str) -> list[Waiver]:
+    """Extract every waiver comment from ``source`` (line numbers 1-based)."""
+    waivers: list[Waiver] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _WAIVER_PATTERN.search(text)
+        if match:
+            waivers.append(Waiver(rule=match.group("rule"), line=lineno, reason=match.group("reason").strip()))
+    return waivers
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may inspect about one module.
+
+    Attributes:
+        path: Absolute path of the file.
+        root: The source root the lint run was scoped to (used to compute
+            the module's dotted name and to resolve lazy-export targets).
+        source: Raw file contents.
+        tree: Parsed AST.
+        module: Dotted module name relative to ``root`` (e.g.
+            ``repro.nn.dtype``), or the bare filename stem when the file
+            lies outside ``root``.
+        waivers: Parsed waiver comments, by line.
+    """
+
+    path: pathlib.Path
+    root: pathlib.Path
+    source: str
+    tree: ast.Module
+    module: str
+    waivers: list[Waiver] = field(default_factory=list)
+
+    @classmethod
+    def for_file(cls, path: pathlib.Path, root: pathlib.Path) -> "LintContext":
+        """Parse ``path`` into a lint context (raises ``SyntaxError`` on bad source)."""
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        try:
+            relative = path.resolve().relative_to(root.resolve())
+            parts = list(relative.parts)
+            if parts[-1] == "__init__.py":
+                parts = parts[:-1]
+            else:
+                parts[-1] = pathlib.Path(parts[-1]).stem
+            module = ".".join([root.name, *parts]) if parts else root.name
+        except ValueError:
+            module = path.stem
+        return cls(
+            path=path,
+            root=root,
+            source=source,
+            tree=tree,
+            module=module,
+            waivers=parse_waivers(source),
+        )
+
+    def is_waived(self, rule: str, line: int) -> bool:
+        """True when ``rule`` is waived for ``line`` (same line or the one above)."""
+        return any(
+            waiver.rule == rule and waiver.line in (line, line - 1) and waiver.reason
+            for waiver in self.waivers
+        )
+
+    def violation(self, rule: str, node: ast.AST, message: str) -> LintViolation:
+        """Build a violation anchored at ``node``."""
+        return LintViolation(
+            rule=rule,
+            path=str(self.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+class LintRule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`name`/:attr:`description` and implement
+    :meth:`check`.  :meth:`run` applies waiver filtering and also reports
+    waivers that are missing a reason, so rules themselves never deal with
+    suppression mechanics.
+    """
+
+    #: Stable kebab-case rule identifier (used in CLI filters and waivers).
+    name = "abstract-rule"
+    #: One-line summary shown by ``repro lint --list-rules``.
+    description = ""
+
+    def check(self, context: LintContext) -> Iterable[LintViolation]:
+        """Yield raw violations for one module (waivers not yet applied)."""
+        raise NotImplementedError
+
+    def run(self, context: LintContext) -> Iterator[LintViolation]:
+        """Apply :meth:`check` under waiver filtering."""
+        for violation in self.check(context):
+            if not context.is_waived(self.name, violation.line):
+                yield violation
+        for waiver in context.waivers:
+            if waiver.rule == self.name and not waiver.reason:
+                yield LintViolation(
+                    rule=self.name,
+                    path=str(context.path),
+                    line=waiver.line,
+                    col=0,
+                    message=f"waiver for [{self.name}] has no reason; justify the suppression",
+                )

@@ -1,0 +1,82 @@
+"""Lint runner: file discovery, rule dispatch and report formatting."""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, Sequence
+
+from repro.analysis.lint.base import LintContext, LintRule, LintViolation
+from repro.analysis.lint.rules import ALL_RULES
+
+__all__ = ["default_lint_root", "iter_python_files", "lint_paths", "format_violations"]
+
+
+def default_lint_root() -> pathlib.Path:
+    """The ``repro`` package directory (the default lint scope)."""
+    return pathlib.Path(__file__).resolve().parents[2]
+
+
+def iter_python_files(paths: Iterable[pathlib.Path]) -> list[pathlib.Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` file list."""
+    files: set[pathlib.Path] = set()
+    for path in paths:
+        path = pathlib.Path(path)
+        if path.is_dir():
+            files.update(p for p in path.rglob("*.py") if "__pycache__" not in p.parts)
+        elif path.suffix == ".py":
+            files.add(path)
+        else:
+            raise ValueError(f"not a Python file or directory: {path}")
+    return sorted(files)
+
+
+def lint_paths(
+    paths: Sequence[pathlib.Path | str] | None = None,
+    rules: Sequence[LintRule] | None = None,
+    root: pathlib.Path | None = None,
+) -> list[LintViolation]:
+    """Lint ``paths`` (default: the installed ``repro`` package) with ``rules``.
+
+    Args:
+        paths: Files and/or directories to lint.
+        rules: Rule instances to apply (default: one of each in
+            :data:`~repro.analysis.lint.rules.ALL_RULES`).
+        root: Source root used for module-name resolution; defaults to the
+            ``repro`` package directory.
+
+    Returns:
+        Violations sorted by (path, line, rule).  Unparseable files are
+        reported as a violation of the pseudo-rule ``syntax-error`` rather
+        than raising, so one broken file cannot hide findings in others.
+    """
+    root = root or default_lint_root()
+    active = list(rules) if rules is not None else [rule() for rule in ALL_RULES]
+    files = iter_python_files([pathlib.Path(p) for p in paths] if paths else [root])
+    violations: list[LintViolation] = []
+    for path in files:
+        try:
+            context = LintContext.for_file(path, root)
+        except SyntaxError as error:
+            violations.append(
+                LintViolation(
+                    rule="syntax-error",
+                    path=str(path),
+                    line=error.lineno or 1,
+                    col=error.offset or 0,
+                    message=f"cannot parse file: {error.msg}",
+                )
+            )
+            continue
+        for rule in active:
+            violations.extend(rule.run(context))
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return violations
+
+
+def format_violations(violations: Sequence[LintViolation]) -> str:
+    """Render violations one per line plus a summary count."""
+    if not violations:
+        return "no lint violations"
+    lines = [violation.format() for violation in violations]
+    lines.append(f"{len(violations)} violation(s)")
+    return "\n".join(lines)

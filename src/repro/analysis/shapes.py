@@ -1,0 +1,218 @@
+"""Symbolic shape/dtype propagation over architecture genotypes.
+
+The abstract interpreter mirrors the execution semantics of
+:meth:`repro.nas.architecture.Architecture.effective_ops` — the single
+source of truth both the supernet and :class:`~repro.nas.derived.DerivedModel`
+execute — but works on *shapes only*: a point cloud is the symbolic tensor
+``(N, C)`` with ``N`` points and ``C`` feature channels, an edge set is
+``(N * k_eff, M)`` messages, and every operation is a transfer function on
+``C``.  Running it costs microseconds, so evolutionary search and the
+serving front end can reject malformed candidates without paying for a
+forward pass or a predictor query.
+
+The distilled result is a :class:`StaticSignature`: everything the serving
+engine needs to validate a request against a deployed model in O(1) —
+expected feature width, minimum cloud size (KNN sampling cannot build a
+self-loop-free graph over a single point), classifier width and the compute
+dtype the deployment was created under.  Signatures serialise to plain
+dictionaries so they survive :class:`~repro.serving.registry.ModelRegistry`
+round-trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.defaults import DEFAULTS
+from repro.graph.message import message_dim
+from repro.nas.architecture import Architecture
+from repro.nn.dtype import get_default_dtype
+
+__all__ = ["OpShape", "StaticSignature", "trace_architecture", "infer_signature"]
+
+#: Signature serialisation format tag (bump on incompatible changes).
+SIGNATURE_FORMAT = "repro.analysis.signature/v1"
+
+
+@dataclass(frozen=True)
+class OpShape:
+    """Shape transfer of one effective operation.
+
+    ``in_dim``/``out_dim`` are the feature widths entering and leaving the
+    operation; node count ``N`` and neighbourhood size ``k`` stay symbolic
+    (every operation in the space is pointwise in ``N``).
+    """
+
+    position: int
+    kind: str  # 'sample' | 'aggregate' | 'combine' | 'connect_skip'
+    in_dim: int
+    out_dim: int
+    detail: str = ""
+
+    def describe(self) -> str:
+        """Human-readable transfer, e.g. ``pos3 aggregate(max/target_rel): (N, 3) -> (N, 6)``."""
+        label = f"{self.kind}({self.detail})" if self.detail else self.kind
+        return f"pos{self.position} {label}: (N, {self.in_dim}) -> (N, {self.out_dim})"
+
+
+@dataclass(frozen=True)
+class StaticSignature:
+    """Statically inferred I/O contract of a deployed architecture.
+
+    Attributes:
+        input_dim: Expected per-point feature width of a request cloud.
+        output_dim: Feature width entering the classifier head.
+        num_classes: Logit width of the classifier.
+        k: Neighbourhood size the model samples with.
+        embed_dim: Classifier-head embedding width.
+        min_points: Smallest cloud the model can execute (2 when any
+            sample op builds a KNN graph, else 1).
+        uses_knn: Whether any effective sample op is KNN-based.
+        uses_random: Whether any effective sample op is random sampling.
+        num_aggregates: Message-passing rounds actually executed.
+        dtype: Compute dtype policy at deployment time (e.g. ``"float32"``).
+        op_shapes: The per-op shape trace (informational; not serialised
+            field-by-field beyond its rendered form).
+    """
+
+    input_dim: int
+    output_dim: int
+    num_classes: int
+    k: int
+    embed_dim: int
+    min_points: int
+    uses_knn: bool
+    uses_random: bool
+    num_aggregates: int
+    dtype: str
+    op_shapes: tuple[OpShape, ...] = field(default=(), compare=False)
+
+    def validate_request(self, num_points: int, feature_dim: int) -> list[str]:
+        """O(1) request admission check against this signature.
+
+        Returns a list of human-readable problems (empty when the request
+        is servable).
+        """
+        problems: list[str] = []
+        if feature_dim != self.input_dim:
+            problems.append(
+                f"expected {self.input_dim}-D point features, got {feature_dim}-D"
+            )
+        if num_points < self.min_points:
+            reason = " (KNN sampling needs a neighbour per point)" if self.uses_knn else ""
+            problems.append(
+                f"cloud has {num_points} point(s) but the model requires at least "
+                f"{self.min_points}{reason}"
+            )
+        return problems
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-compatible form (used in registry deployment metadata)."""
+        return {
+            "format": SIGNATURE_FORMAT,
+            "input_dim": self.input_dim,
+            "output_dim": self.output_dim,
+            "num_classes": self.num_classes,
+            "k": self.k,
+            "embed_dim": self.embed_dim,
+            "min_points": self.min_points,
+            "uses_knn": self.uses_knn,
+            "uses_random": self.uses_random,
+            "num_aggregates": self.num_aggregates,
+            "dtype": self.dtype,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "StaticSignature":
+        """Rebuild a signature serialised with :meth:`to_dict`."""
+        if data.get("format") != SIGNATURE_FORMAT:
+            raise ValueError(f"unrecognised signature format {data.get('format')!r}")
+        return cls(
+            input_dim=int(data["input_dim"]),  # type: ignore[call-overload]
+            output_dim=int(data["output_dim"]),  # type: ignore[call-overload]
+            num_classes=int(data["num_classes"]),  # type: ignore[call-overload]
+            k=int(data["k"]),  # type: ignore[call-overload]
+            embed_dim=int(data["embed_dim"]),  # type: ignore[call-overload]
+            min_points=int(data["min_points"]),  # type: ignore[call-overload]
+            uses_knn=bool(data["uses_knn"]),
+            uses_random=bool(data["uses_random"]),
+            num_aggregates=int(data["num_aggregates"]),  # type: ignore[call-overload]
+            dtype=str(data["dtype"]),
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable rendering (used by ``repro check``)."""
+        lines = [
+            f"input   : (N >= {self.min_points}, {self.input_dim}) [{self.dtype}]",
+            f"features: (N, {self.output_dim}) after {self.num_aggregates} aggregate(s)",
+            f"logits  : (B, {self.num_classes})  k={self.k}  embed_dim={self.embed_dim}",
+        ]
+        if self.op_shapes:
+            lines.append("trace   :")
+            lines.extend(f"  {op.describe()}" for op in self.op_shapes)
+        return "\n".join(lines)
+
+
+def trace_architecture(architecture: Architecture) -> list[OpShape]:
+    """Propagate symbolic shapes through the architecture's effective ops.
+
+    Mirrors :meth:`Architecture.effective_ops` exactly (it *is* driven by
+    it), re-deriving each output width from the half's function set so a
+    genotype whose cached ``EffectiveOp`` dims were tampered with is caught
+    as a channel mismatch by :func:`repro.analysis.validate.validate_architecture`.
+    """
+    shapes: list[OpShape] = []
+    for op in architecture.effective_ops():
+        if op.kind == "sample":
+            detail = op.sample_method
+            out_dim = op.in_dim
+        elif op.kind == "aggregate":
+            detail = f"{op.aggregator}/{op.message_type}"
+            out_dim = message_dim(op.message_type, op.in_dim)
+        elif op.kind == "combine":
+            detail = str(op.combine_dim)
+            out_dim = op.combine_dim
+        elif op.kind == "connect_skip":
+            detail = "skip"
+            out_dim = op.in_dim + architecture.input_dim
+        else:  # pragma: no cover - effective ops are exhaustive
+            raise ValueError(f"unhandled effective op kind '{op.kind}'")
+        shapes.append(
+            OpShape(position=op.position, kind=op.kind, in_dim=op.in_dim, out_dim=out_dim, detail=detail)
+        )
+    return shapes
+
+
+def infer_signature(
+    architecture: Architecture,
+    num_classes: int,
+    k: int | None = None,
+    embed_dim: int | None = None,
+) -> StaticSignature:
+    """Infer the :class:`StaticSignature` of a deployment of ``architecture``.
+
+    Args:
+        architecture: The genotype being deployed.
+        num_classes: Classifier output classes.
+        k: Neighbourhood size (defaults to the shared inference defaults).
+        embed_dim: Classifier-head embedding width (same default source).
+    """
+    scenario = DEFAULTS.resolve(k=k, embed_dim=embed_dim)
+    shapes = trace_architecture(architecture)
+    sample_methods = {
+        op.detail for op in shapes if op.kind == "sample"
+    }
+    uses_knn = "knn" in sample_methods
+    return StaticSignature(
+        input_dim=architecture.input_dim,
+        output_dim=shapes[-1].out_dim if shapes else architecture.input_dim,
+        num_classes=num_classes,
+        k=scenario.k,
+        embed_dim=scenario.embed_dim,
+        min_points=2 if uses_knn else 1,
+        uses_knn=uses_knn,
+        uses_random="random" in sample_methods,
+        num_aggregates=sum(1 for op in shapes if op.kind == "aggregate"),
+        dtype=str(get_default_dtype()),
+        op_shapes=tuple(shapes),
+    )

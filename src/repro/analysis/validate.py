@@ -1,0 +1,375 @@
+"""Static genotype/deployment validation with structured diagnostics.
+
+:func:`validate_genotype` accepts either a serialised genotype dictionary
+or an :class:`~repro.nas.architecture.Architecture` and produces a
+:class:`ValidationReport`: a list of :class:`Diagnostic` records plus the
+inferred :class:`~repro.analysis.shapes.StaticSignature` when the genotype
+is structurally sound.  The checks are calibrated against the *actual*
+runtime semantics of :class:`~repro.nas.derived.DerivedModel` — every
+``error`` diagnostic corresponds to a construction or forward pass that
+provably raises, and anything the runtime tolerates (e.g. ``k`` larger
+than the cloud, which the KNN builder clamps) is at most a ``warning``.
+That calibration is what lets evolutionary search reject candidates
+pre-scoring without ever discarding a genotype that would actually run
+(no false rejects) and lets the serving layer refuse requests that would
+fail deep inside a batch (no false accepts).
+
+Consumers:
+
+* :class:`~repro.nas.evolution.EvolutionarySearch` — ``validate=`` hook
+  rejecting invalid mutants before fitness scoring.
+* :meth:`ModelRegistry.register <repro.serving.registry.ModelRegistry.register>`
+  / :meth:`Workspace.deploy <repro.workspace.pipeline.Workspace.deploy>` —
+  refuse inconsistent deployments.
+* ``repro check`` — the CLI front end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.defaults import DEFAULTS
+from repro.nas.architecture import Architecture
+from repro.nas.ops import FUNCTION_FIELDS, OperationType
+from repro.analysis.shapes import StaticSignature, infer_signature
+
+__all__ = [
+    "Diagnostic",
+    "ValidationReport",
+    "validate_genotype",
+    "validate_architecture",
+    "check_model_consistency",
+]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static checker.
+
+    Attributes:
+        severity: ``"error"`` (the genotype/scenario cannot execute) or
+            ``"warning"`` (it executes, but something is degenerate).
+        code: Stable machine-readable identifier, e.g. ``knn-single-point``.
+        message: Human-readable explanation.
+        position: Supernet position the finding refers to (-1 when global).
+    """
+
+    severity: str
+    code: str
+    message: str
+    position: int = -1
+
+    def format(self) -> str:
+        where = f" [pos {self.position}]" if self.position >= 0 else ""
+        return f"{self.severity}: {self.code}{where}: {self.message}"
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of statically checking one genotype under a scenario."""
+
+    diagnostics: tuple[Diagnostic, ...] = ()
+    signature: StaticSignature | None = None
+    architecture: Architecture | None = field(default=None, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        """True when no ``error``-severity diagnostic was produced."""
+        return all(diag.severity != "error" for diag in self.diagnostics)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == "error")
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == "warning")
+
+    def format(self) -> str:
+        """Render all diagnostics, one per line (empty string when clean)."""
+        return "\n".join(diag.format() for diag in self.diagnostics)
+
+
+def _error(code: str, message: str, position: int = -1) -> Diagnostic:
+    return Diagnostic("error", code, message, position)
+
+
+def _warning(code: str, message: str, position: int = -1) -> Diagnostic:
+    return Diagnostic("warning", code, message, position)
+
+
+def _check_structure(data: dict[str, object]) -> list[Diagnostic]:
+    """Structural checks on a genotype dict, mirroring ``Architecture.from_dict``.
+
+    Every condition flagged here as an error raises in ``from_dict`` (or in
+    the ``FunctionSet``/``Architecture`` constructors it calls); keeping
+    the two in lockstep is covered by the agreement property test.
+    """
+    diags: list[Diagnostic] = []
+    for key in ("operations", "upper_functions", "lower_functions"):
+        if key not in data:
+            diags.append(_error("missing-field", f"genotype dict is missing '{key}'"))
+    if diags:
+        return diags
+
+    operations = data["operations"]
+    if not isinstance(operations, (list, tuple)):
+        return [_error("bad-operations", "'operations' must be a list of operation values")]
+    if not operations:
+        return [_error("empty-operations", "an architecture needs at least one position")]
+    known_ops = {op.value for op in OperationType}
+    for position, op in enumerate(operations):
+        if op not in known_ops and not isinstance(op, OperationType):
+            diags.append(
+                _error(
+                    "unknown-operation",
+                    f"'{op}' is not in the design space {sorted(known_ops)}",
+                    position,
+                )
+            )
+
+    for half in ("upper_functions", "lower_functions"):
+        functions = data[half]
+        if not isinstance(functions, dict):
+            diags.append(_error("bad-functions", f"'{half}' must be a function-set dict"))
+            continue
+        for name, candidates in FUNCTION_FIELDS.items():
+            if name not in functions:
+                diags.append(_error("missing-function", f"'{half}' is missing '{name}'"))
+                continue
+            value = functions[name]
+            if name == "combine_dim":
+                try:
+                    value = int(value)  # type: ignore[call-overload]
+                except (TypeError, ValueError):
+                    value = None
+            else:
+                value = str(value)
+            if value not in candidates:
+                diags.append(
+                    _error(
+                        "out-of-space-function",
+                        f"{half}.{name}={functions[name]!r} is not one of {candidates}",
+                    )
+                )
+
+    input_dim = data.get("input_dim", 3)
+    try:
+        input_dim = int(input_dim)  # type: ignore[call-overload]
+    except (TypeError, ValueError):
+        diags.append(_error("bad-input-dim", f"input_dim={data.get('input_dim')!r} is not an integer"))
+    else:
+        if input_dim <= 0:
+            diags.append(_error("bad-input-dim", f"input_dim must be positive, got {input_dim}"))
+    return diags
+
+
+def _check_scenario(
+    architecture: Architecture,
+    num_points: int | None,
+    k: int,
+    num_classes: int,
+    embed_dim: int,
+) -> list[Diagnostic]:
+    """Deployment-scenario checks against the resolved effective ops."""
+    diags: list[Diagnostic] = []
+    if k <= 0:
+        diags.append(_error("bad-k", f"neighbourhood size k must be positive, got {k}"))
+    if num_points is not None and num_points <= 0:
+        diags.append(_error("bad-num-points", f"num_points must be positive, got {num_points}"))
+    if num_classes <= 1:
+        diags.append(_error("bad-num-classes", f"num_classes must be > 1, got {num_classes}"))
+    if embed_dim <= 1:
+        # The classification head builds hidden layers (embed_dim, embed_dim // 2):
+        # embed_dim == 1 yields a zero-width Linear, which raises at construction.
+        diags.append(
+            _error("bad-embed-dim", f"embed_dim must be > 1 (head hidden width embed_dim // 2), got {embed_dim}")
+        )
+    if diags:
+        return diags
+
+    effective = architecture.effective_ops()
+    samples = [op for op in effective if op.kind == "sample"]
+    aggregates = [op for op in effective if op.kind == "aggregate"]
+
+    if num_points is not None:
+        for op in samples:
+            if op.sample_method == "knn" and num_points < 2:
+                diags.append(
+                    _error(
+                        "knn-single-point",
+                        "KNN sampling cannot build a self-loop-free neighbour list "
+                        f"over a single point (num_points={num_points})",
+                        op.position,
+                    )
+                )
+        if samples and k >= num_points and num_points >= 2:
+            # knn_indices / random_graph clamp k to num_points - 1: legal, but
+            # the deployed graph is denser than the searched scenario assumed.
+            diags.append(
+                _warning(
+                    "k-clamped",
+                    f"k={k} >= num_points={num_points}; graph builders clamp to "
+                    f"k={num_points - 1}, so profiled latency overestimates this deployment",
+                )
+            )
+
+    if not aggregates:
+        diags.append(
+            _warning(
+                "no-aggregate",
+                "architecture performs no message passing (no effective aggregate op); "
+                "it degenerates to a pointwise MLP",
+            )
+        )
+
+    # Dead trailing samples: present in the genotype, dropped during resolution.
+    executed_sample_positions = {op.position for op in samples}
+    for position, operation in enumerate(architecture.operations):
+        if operation is OperationType.SAMPLE and position not in executed_sample_positions:
+            later = [op.position for op in effective if op.position >= position and op.kind == "sample"]
+            if not later:
+                diags.append(
+                    _warning(
+                        "dead-sample",
+                        "sample op is never followed by an aggregate; the graph it "
+                        "builds is discarded",
+                        position,
+                    )
+                )
+    return diags
+
+
+def validate_architecture(
+    architecture: Architecture,
+    *,
+    num_points: int | None = None,
+    k: int | None = None,
+    num_classes: int | None = None,
+    embed_dim: int | None = None,
+) -> ValidationReport:
+    """Statically validate an already-constructed :class:`Architecture`.
+
+    Scenario parameters default to the shared inference defaults; pass
+    ``num_points`` to additionally check graph-construction feasibility for
+    a concrete cloud size (leave ``None`` to keep ``N`` symbolic).
+    """
+    scenario = DEFAULTS.resolve(k=k, num_classes=num_classes, embed_dim=embed_dim)
+    diags = _check_scenario(
+        architecture, num_points, scenario.k, scenario.num_classes, scenario.embed_dim
+    )
+    signature: StaticSignature | None = None
+    if all(d.severity != "error" for d in diags):
+        signature = infer_signature(
+            architecture, scenario.num_classes, k=scenario.k, embed_dim=scenario.embed_dim
+        )
+    return ValidationReport(diagnostics=tuple(diags), signature=signature, architecture=architecture)
+
+
+def validate_genotype(
+    genotype: dict[str, object] | Architecture,
+    *,
+    num_points: int | None = None,
+    k: int | None = None,
+    num_classes: int | None = None,
+    embed_dim: int | None = None,
+) -> ValidationReport:
+    """Statically validate a genotype dict (or architecture) end to end.
+
+    Structural problems (unknown operations, out-of-space function values,
+    malformed fields) are reported without constructing the architecture;
+    a structurally sound genotype is then checked against the deployment
+    scenario exactly like :func:`validate_architecture`.
+    """
+    if isinstance(genotype, Architecture):
+        return validate_architecture(
+            genotype, num_points=num_points, k=k, num_classes=num_classes, embed_dim=embed_dim
+        )
+    structural = _check_structure(genotype)
+    if any(d.severity == "error" for d in structural):
+        return ValidationReport(diagnostics=tuple(structural))
+    architecture = Architecture.from_dict(genotype)
+    report = validate_architecture(
+        architecture, num_points=num_points, k=k, num_classes=num_classes, embed_dim=embed_dim
+    )
+    return ValidationReport(
+        diagnostics=tuple(structural) + report.diagnostics,
+        signature=report.signature,
+        architecture=architecture,
+    )
+
+
+def check_model_consistency(
+    model: object,
+    architecture: Architecture,
+    num_classes: int,
+    k: int,
+) -> list[Diagnostic]:
+    """Cross-check an instantiated model against its claimed genotype.
+
+    Verifies the facts the static signature asserts: the model's
+    neighbourhood size, each combine projection's in/out widths against the
+    traced shapes, and the classifier head's input width and class count.
+    Used by the registry to refuse deployments whose executable disagrees
+    with the architecture they are registered under (e.g. a model built
+    from a different genotype, or trained weights loaded into the wrong
+    skeleton).
+    """
+    diags: list[Diagnostic] = []
+    model_k = getattr(model, "k", None)
+    if model_k is not None and model_k != k:
+        diags.append(
+            _error("k-mismatch", f"model was built with k={model_k} but is deployed with k={k}")
+        )
+    combines = getattr(model, "combines", None)
+    if isinstance(combines, dict):
+        # DerivedModel keys its combine layers by *effective-op index*.
+        traced = {
+            index: op
+            for index, op in enumerate(architecture.effective_ops())
+            if op.kind == "combine"
+        }
+        if set(combines) != set(traced):
+            diags.append(
+                _error(
+                    "combine-mismatch",
+                    f"model has combine layers at effective ops {sorted(combines)} but the "
+                    f"architecture traces combines at {sorted(traced)}",
+                )
+            )
+        else:
+            for index, op in traced.items():
+                layer = combines[index]
+                in_features = getattr(layer, "in_features", op.in_dim)
+                out_features = getattr(layer, "out_features", op.out_dim)
+                if (in_features, out_features) != (op.in_dim, op.out_dim):
+                    diags.append(
+                        _error(
+                            "channel-mismatch",
+                            f"combine layer is ({in_features} -> {out_features}) but the "
+                            f"traced shape is ({op.in_dim} -> {op.out_dim})",
+                            op.position,
+                        )
+                    )
+    head = getattr(model, "head", None)
+    if head is not None:
+        head_in = getattr(head, "in_dim", None)
+        expected_in = architecture.output_dim()
+        if head_in is not None and head_in != expected_in:
+            diags.append(
+                _error(
+                    "head-mismatch",
+                    f"classifier head consumes {head_in}-D features but the architecture "
+                    f"produces {expected_in}-D",
+                )
+            )
+        head_classes = getattr(head, "num_classes", None)
+        if head_classes is not None and head_classes != num_classes:
+            diags.append(
+                _error(
+                    "classes-mismatch",
+                    f"classifier head has {head_classes} classes but the deployment "
+                    f"declares {num_classes}",
+                )
+            )
+    return diags

@@ -8,6 +8,8 @@ Subcommands mirror the pipeline stages::
     repro search   --device tx2   # run a laptop-scale hardware-aware search
     repro serve    --requests 64  # serve a synthetic stream, print telemetry
     repro report   --root runs/   # render a persisted observability run
+    repro check    fast           # statically validate a genotype (repro.analysis)
+    repro lint                    # enforce the repo invariants (AST linter)
 
 Pass ``--root DIR`` to any stage command to persist artifacts in a
 content-addressed store, so a repeated ``repro predict``/``repro search``
@@ -310,6 +312,68 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------- #
+# repro check
+# ---------------------------------------------------------------------- #
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.analysis.validate import validate_genotype
+    from repro.utils.serialization import load_json
+
+    if args.genotype in _PRESETS:
+        device = args.device or "jetson-tx2"
+        genotype = _PRESETS[args.genotype](device).to_dict()
+    else:
+        path = pathlib.Path(args.genotype)
+        if not path.is_file():
+            raise ValueError(
+                f"'{args.genotype}' is neither a preset ({', '.join(sorted(_PRESETS))}) "
+                "nor a genotype JSON file"
+            )
+        genotype = load_json(path)
+    report = validate_genotype(
+        genotype,
+        num_points=args.num_points,
+        k=args.k,
+        num_classes=args.num_classes,
+        embed_dim=args.embed_dim,
+    )
+    if report.diagnostics:
+        print(report.format())
+    if report.signature is not None:
+        print(report.signature.describe())
+    if report.ok:
+        print("genotype OK" + (f" ({len(report.warnings)} warning(s))" if report.warnings else ""))
+        return 0
+    print(f"genotype INVALID ({len(report.errors)} error(s))")
+    return 1
+
+
+# ---------------------------------------------------------------------- #
+# repro lint
+# ---------------------------------------------------------------------- #
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import ALL_RULES, default_lint_root, format_violations, lint_paths
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.name:20s} {rule.description}")
+        return 0
+    rules = None
+    if args.rule:
+        known = {rule.name: rule for rule in ALL_RULES}
+        unknown = [name for name in args.rule if name not in known]
+        if unknown:
+            raise ValueError(f"unknown rule(s) {unknown}; available: {sorted(known)}")
+        rules = [known[name]() for name in args.rule]
+    paths = [pathlib.Path(p) for p in args.paths] or None
+    violations = lint_paths(paths, rules=rules)
+    print(format_violations(violations))
+    if not violations:
+        scope = ", ".join(str(p) for p in paths) if paths else str(default_lint_root())
+        print(f"checked: {scope}")
+    return 1 if violations else 0
+
+
+# ---------------------------------------------------------------------- #
 # Parser / dispatch
 # ---------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
@@ -376,6 +440,34 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--key", default=None, help="run key to render (default: the most recent run)")
     report.add_argument("--list", action="store_true", help="list persisted runs instead of rendering one")
     report.set_defaults(func=_cmd_report)
+
+    check = add_command("check", "statically validate an architecture genotype (shape/dtype checker)")
+    check.add_argument(
+        "genotype",
+        help=f"preset name ({', '.join(sorted(_PRESETS))}) or path to a genotype JSON file",
+    )
+    check.add_argument("--device", default=None, help="device used to resolve device-tuned presets")
+    check.add_argument("--num-points", type=int, default=None, help="cloud size to check against (default: symbolic)")
+    check.add_argument("--k", type=int, default=None, help="neighbourhood size (default: 20)")
+    check.add_argument("--num-classes", type=int, default=None, help="classifier classes (default: 40)")
+    check.add_argument("--embed-dim", type=int, default=None, help="classifier embedding width (default: 64)")
+    check.set_defaults(func=_cmd_check)
+
+    lint = add_command("lint", "run the repo-invariant AST linter over source files")
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: the installed repro package)",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only this rule (repeatable; see --list-rules)",
+    )
+    lint.add_argument("--list-rules", action="store_true", help="list available rules and exit")
+    lint.set_defaults(func=_cmd_lint)
 
     return parser
 

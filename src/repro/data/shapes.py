@@ -14,6 +14,8 @@ from typing import Callable, Dict
 
 import numpy as np
 
+from repro.nn.dtype import WIDE_DTYPE
+
 __all__ = ["SHAPE_GENERATORS", "generate_shape", "list_shape_names"]
 
 ShapeGenerator = Callable[[int, np.random.Generator], np.ndarray]
@@ -38,7 +40,7 @@ def ellipsoid(n: int, rng: np.random.Generator, axes: tuple[float, float, float]
 
 def box(n: int, rng: np.random.Generator, extents: tuple[float, float, float] = (1.0, 1.0, 1.0)) -> np.ndarray:
     """Points on the surface of an axis-aligned box."""
-    extents_arr = np.asarray(extents, dtype=np.float64)
+    extents_arr = np.asarray(extents, dtype=WIDE_DTYPE)
     faces = rng.integers(0, 6, size=n)
     points = rng.uniform(-1.0, 1.0, size=(n, 3))
     axis = faces // 2
@@ -267,7 +269,7 @@ def stairs(n: int, rng: np.random.Generator, steps: int = 4) -> np.ndarray:
 def tetrahedron(n: int, rng: np.random.Generator) -> np.ndarray:
     """Regular tetrahedron surface."""
     vertices = np.array(
-        [[1, 1, 1], [1, -1, -1], [-1, 1, -1], [-1, -1, 1]], dtype=np.float64
+        [[1, 1, 1], [1, -1, -1], [-1, 1, -1], [-1, -1, 1]], dtype=WIDE_DTYPE
     ) / np.sqrt(3)
     faces = [(0, 1, 2), (0, 1, 3), (0, 2, 3), (1, 2, 3)]
     which = rng.integers(0, 4, size=n)

@@ -14,6 +14,7 @@ from typing import Callable, Generic, Hashable, TypeVar
 
 import numpy as np
 
+from repro.nn.dtype import WIDE_DTYPE
 from repro.obs.metrics import get_metrics
 from repro.obs.tracer import get_tracer
 from repro.utils.timer import VirtualClock
@@ -77,6 +78,8 @@ class EvolutionResult(Generic[Genotype]):
     history: list[HistoryPoint] = field(default_factory=list)
     population: list[tuple[Genotype, float]] = field(default_factory=list)
     evaluations: int = 0
+    #: Candidates rejected by the static validator before fitness scoring.
+    rejections: int = 0
 
 
 class EvolutionarySearch(Generic[Genotype]):
@@ -106,7 +109,11 @@ class EvolutionarySearch(Generic[Genotype]):
         clock: VirtualClock | None = None,
         evaluation_cost_s: float = 0.0,
         evaluate_many: Callable[[list[Genotype]], "np.ndarray | list[float]"] | None = None,
+        validate: Callable[[Genotype], bool] | None = None,
+        max_validation_attempts: int = 32,
     ):
+        if max_validation_attempts <= 0:
+            raise ValueError("max_validation_attempts must be positive")
         self.config = config
         self.initialize = initialize
         self.mutate = mutate
@@ -117,9 +124,12 @@ class EvolutionarySearch(Generic[Genotype]):
         self.rng = rng
         self.clock = clock if clock is not None else VirtualClock()
         self.evaluation_cost_s = evaluation_cost_s
+        self.validate_fn = validate
+        self.max_validation_attempts = max_validation_attempts
         self._cache: dict[Hashable, float] = {}
         self.evaluations = 0
         self.cache_hits = 0
+        self.rejections = 0
 
     # ------------------------------------------------------------------ #
     def _evaluate(self, genotype: Genotype) -> float:
@@ -150,7 +160,7 @@ class EvolutionarySearch(Generic[Genotype]):
         self.cache_hits += len(genotypes) - len(pending)
         if pending:
             batch = list(pending.values())
-            scores = np.asarray(self.evaluate_many_fn(batch), dtype=np.float64)
+            scores = np.asarray(self.evaluate_many_fn(batch), dtype=WIDE_DTYPE)
             if scores.shape != (len(batch),):
                 raise ValueError(
                     f"evaluate_many returned shape {scores.shape} for {len(batch)} genotypes"
@@ -164,10 +174,32 @@ class EvolutionarySearch(Generic[Genotype]):
                 self.clock.advance(self.evaluation_cost_s)
         return [self._cache[cache_key] for cache_key in keys]
 
+    def _spawn_valid(self, spawn: Callable[[], Genotype]) -> Genotype:
+        """Draw from ``spawn`` until ``validate`` accepts (or no validator set).
+
+        Rejected candidates never reach fitness scoring: the clock does not
+        advance and the fitness cache is untouched; only the ``rejections``
+        counter and the ``nas.analysis.rejected`` metric record them.  When
+        every genotype passes, the shared ``rng`` stream is byte-identical
+        to an unvalidated run (the validator itself must not draw from it).
+        """
+        if self.validate_fn is None:
+            return spawn()
+        for _ in range(self.max_validation_attempts):
+            genotype = spawn()
+            if self.validate_fn(genotype):
+                return genotype
+            self.rejections += 1
+            get_metrics().count("nas.analysis.rejected")
+        raise RuntimeError(
+            f"no valid genotype in {self.max_validation_attempts} attempts; "
+            "the mutation operator cannot escape an invalid region of the space"
+        )
+
     def _spawn_and_score(
         self, count: int, spawn: Callable[[], Genotype]
     ) -> list[tuple[Genotype, float]]:
-        """Generate ``count`` genotypes and score them.
+        """Generate ``count`` (valid) genotypes and score them.
 
         Without ``evaluate_many`` this interleaves generation and evaluation
         exactly like the historical sequential loop (an ``evaluate`` that
@@ -178,10 +210,10 @@ class EvolutionarySearch(Generic[Genotype]):
         if self.evaluate_many_fn is None:
             scored = []
             for _ in range(count):
-                genotype = spawn()
+                genotype = self._spawn_valid(spawn)
                 scored.append((genotype, self._evaluate(genotype)))
             return scored
-        genotypes = [spawn() for _ in range(count)]
+        genotypes = [self._spawn_valid(spawn) for _ in range(count)]
         return list(zip(genotypes, self._evaluate_batch(genotypes)))
 
     def _make_child(self, parents: list[tuple[Genotype, float]]) -> Genotype:
@@ -212,6 +244,7 @@ class EvolutionarySearch(Generic[Genotype]):
         metrics = get_metrics()
         evaluations_before = self.evaluations
         hits_before = self.cache_hits
+        rejections_before = self.rejections
         clock_before = self.clock.now
         with get_tracer().span("nas.evolution.generation", iteration=iteration) as span:
             population = produce()
@@ -221,6 +254,7 @@ class EvolutionarySearch(Generic[Genotype]):
                 population=len(population),
                 evaluations=self.evaluations - evaluations_before,
                 cache_hits=self.cache_hits - hits_before,
+                rejections=self.rejections - rejections_before,
                 best_fitness=float(population[0][1]),
                 mean_fitness=float(np.mean(scores)),
                 clock_s=self.clock.now - clock_before,
@@ -283,4 +317,5 @@ class EvolutionarySearch(Generic[Genotype]):
             history=history,
             population=population,
             evaluations=self.evaluations,
+            rejections=self.rejections,
         )

@@ -36,6 +36,7 @@ from repro.hardware.device import DeviceSpec
 from repro.hardware.latency import estimate_latency
 from repro.hardware.measurement import DeviceMeasurement
 from repro.nas.architecture import Architecture
+from repro.nn.dtype import WIDE_DTYPE
 
 __all__ = [
     "LatencyEvaluator",
@@ -74,17 +75,17 @@ def evaluate_latencies(evaluator: LatencyEvaluator, architectures: list[Architec
     calls; either way the result is ordered like ``architectures``.
     """
     if not architectures:
-        return np.zeros(0, dtype=np.float64)
+        return np.zeros(0, dtype=WIDE_DTYPE)
     evaluate_many = getattr(evaluator, "evaluate_many", None)
     if callable(evaluate_many):
-        latencies = np.asarray(evaluate_many(architectures), dtype=np.float64)
+        latencies = np.asarray(evaluate_many(architectures), dtype=WIDE_DTYPE)
         if latencies.shape != (len(architectures),):
             raise ValueError(
                 f"evaluate_many returned shape {latencies.shape} "
                 f"for {len(architectures)} architectures"
             )
         return latencies
-    return np.array([float(evaluator.evaluate(arch)) for arch in architectures], dtype=np.float64)
+    return np.array([float(evaluator.evaluate(arch)) for arch in architectures], dtype=WIDE_DTYPE)
 
 
 @dataclass

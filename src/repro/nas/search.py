@@ -40,6 +40,7 @@ from repro.nas.objective import ObjectiveConfig, hardware_constrained_score
 from repro.nas.ops import FunctionSet, mutate_function_set, random_function_set
 from repro.nas.supernet import Supernet, SupernetConfig
 from repro.nas.trainer import evaluate_path, train_supernet
+from repro.nn.dtype import WIDE_DTYPE
 from repro.obs.tracer import get_tracer
 from repro.utils.logging import get_logger
 from repro.utils.timer import VirtualClock
@@ -92,6 +93,10 @@ class HGNASConfig:
     # fast path (one fused forward for predictor-style oracles).  Results are
     # identical to the sequential path; disable only to compare the two.
     batched_evaluation: bool = True
+    # Statically validate candidates (repro.analysis) before fitness scoring;
+    # rejected mutants never reach the supernet/predictor and show up in the
+    # nas.analysis.rejected counter.
+    validate_candidates: bool = True
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
@@ -310,7 +315,7 @@ class HGNAS:
         self._latency_many(architectures)
         return np.array(
             [self._objective(supernet, architecture) for architecture in architectures],
-            dtype=np.float64,
+            dtype=WIDE_DTYPE,
         )
 
     # ------------------------------------------------------------------ #
@@ -360,6 +365,35 @@ class HGNAS:
         return result.best, result.history
 
     # ------------------------------------------------------------------ #
+    # Candidate validation (repro.analysis)
+    # ------------------------------------------------------------------ #
+    def _architecture_validator(self):
+        """Static accept/reject hook for architecture-genotype searches.
+
+        Checks each candidate against the deployment scenario *before* any
+        fitness scoring (supernet forward or predictor query).  Stage-1
+        searches operate on function-set pairs, not architectures, and every
+        function-set pair is valid by construction, so only the
+        architecture-level searches take this hook.
+        """
+        if not self.config.validate_candidates:
+            return None
+        # Imported here, not at module level: repro.analysis depends on
+        # repro.nas.architecture, and the eager nas package init would turn
+        # a top-level import into a cycle.
+        from repro.analysis.validate import validate_architecture
+
+        def validate(architecture: Architecture) -> bool:
+            return validate_architecture(
+                architecture,
+                num_points=self.config.deploy_num_points,
+                k=self.config.deploy_k,
+                num_classes=self.config.num_classes,
+            ).ok
+
+        return validate
+
+    # ------------------------------------------------------------------ #
     # Stage 2: operation search
     # ------------------------------------------------------------------ #
     def _search_operations(
@@ -390,6 +424,7 @@ class HGNAS:
             rng=self.rng,
             clock=self.clock,
             evaluate_many=evaluate_many if self.config.batched_evaluation else None,
+            validate=self._architecture_validator(),
         )
         result = search.run(self.config.operation_iterations)
         return result.best, result.best_score, result.history, result.evaluations
@@ -482,6 +517,7 @@ class HGNAS:
             rng=self.rng,
             clock=self.clock,
             evaluate_many=evaluate_many if self.config.batched_evaluation else None,
+            validate=self._architecture_validator(),
         )
         with tracer.span("nas.search.one_stage_search", iterations=iterations) as span:
             result = search.run(iterations)

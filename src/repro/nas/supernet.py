@@ -100,19 +100,21 @@ class _PositionBlock(Module):
         message_type: str,
     ) -> Tensor:
         """Message construction, reduction and alignment back to hidden."""
-        # The edge index comes from this supernet's own (validating) graph
+        # The edge index comes from Supernet._build_graph's validating
         # builders and is shared across positions: skip re-scanning it on
         # every aggregate call.
         if not is_grad_enabled() and fused_kernels_enabled() and supports_fused(message_type):
             # Evaluation passes (accuracy scoring during the search) run in
             # no-grad mode and take the fused CSR/reduceat kernel.
+            # repro-lint: allow[unvalidated-index] edge index produced by Supernet._build_graph (validating) one call level up
             reduced = fused_aggregate(
                 x, edge_index, message_type, aggregator, num_nodes=x.shape[0], validated=True
             )
         else:
             get_metrics().count("graph.materialized.dispatch")
+            # repro-lint: allow[unvalidated-index] edge index produced by Supernet._build_graph (validating) one call level up
             messages = build_messages(x, edge_index, message_type, validated=True)
-            reduced = scatter(messages, edge_index[1], x.shape[0], aggregator, validated=True)
+            reduced = scatter(messages, edge_index[1], x.shape[0], aggregator, validated=True)  # repro-lint: allow[unvalidated-index] same shared edge index
         width = message_dim(message_type, self.hidden_dim)
         align_weight = self.aggregate_align.weight[:width, :]
         return F.leaky_relu(reduced @ align_weight + self.aggregate_align.bias, 0.2)

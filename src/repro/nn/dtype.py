@@ -30,7 +30,7 @@ the policy.
 from __future__ import annotations
 
 import contextlib
-from typing import Iterator
+from typing import Any, Iterator
 
 import numpy as np
 
@@ -40,9 +40,18 @@ __all__ = [
     "default_dtype",
     "resolve_dtype",
     "as_float_array",
+    "WIDE_DTYPE",
 ]
 
 _DEFAULT_DTYPE = np.dtype(np.float32)
+
+#: The wide accumulator dtype for *scalar bookkeeping*, not tensor compute:
+#: metric/telemetry accumulation, fitness and ranking statistics, content
+#: hashing and cache keys — places that must match Python ``float``
+#: arithmetic bit-for-bit regardless of the compute policy above.  This is
+#: the only sanctioned float64 spelling outside this module (the
+#: ``dtype-literal`` lint rule flags raw ``np.float64`` literals).
+WIDE_DTYPE = np.dtype(np.float64)
 
 
 def _coerce_dtype(dtype: str | type | np.dtype) -> np.dtype:
@@ -80,7 +89,7 @@ def default_dtype(dtype: str | type | np.dtype) -> Iterator[np.dtype]:
         _DEFAULT_DTYPE = previous
 
 
-def resolve_dtype(data=None, dtype: str | type | np.dtype | None = None) -> np.dtype:
+def resolve_dtype(data: Any = None, dtype: str | type | np.dtype | None = None) -> np.dtype:
     """Resolve the dtype an operation should compute in.
 
     An explicit ``dtype`` wins; otherwise a floating-point numpy array (or
@@ -94,7 +103,7 @@ def resolve_dtype(data=None, dtype: str | type | np.dtype | None = None) -> np.d
     return _DEFAULT_DTYPE
 
 
-def as_float_array(data, dtype: str | type | np.dtype | None = None) -> np.ndarray:
+def as_float_array(data: Any, dtype: str | type | np.dtype | None = None) -> np.ndarray:
     """Coerce ``data`` to a floating numpy array under the dtype policy.
 
     Float arrays pass through without copying; integer/bool arrays and

@@ -20,7 +20,7 @@ import json
 import os
 import pathlib
 import time
-from typing import Iterable, Mapping, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.obs.tracer import Span, Tracer, get_tracer
@@ -173,7 +173,7 @@ def format_run(meta: Mapping) -> str:
 # Artifact-store persistence
 # ------------------------------------------------------------------ #
 def save_run(
-    store,
+    store: Any,
     label: str,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
@@ -209,7 +209,7 @@ def save_run(
     return key
 
 
-def list_runs(store) -> list[tuple[str, dict]]:
+def list_runs(store: Any) -> list[tuple[str, dict]]:
     """All persisted runs as ``(key, meta)``, oldest first by ``created_at``."""
     runs = []
     for key in store.keys(OBS_STAGE):
@@ -220,7 +220,7 @@ def list_runs(store) -> list[tuple[str, dict]]:
     return runs
 
 
-def load_run(store, key: str | None = None) -> tuple[str, dict]:
+def load_run(store: Any, key: str | None = None) -> tuple[str, dict]:
     """Load one run's ``(key, meta)``; the most recent one when ``key`` is None.
 
     Raises:

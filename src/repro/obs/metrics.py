@@ -23,9 +23,11 @@ from __future__ import annotations
 import bisect
 import contextlib
 from collections import deque
-from typing import Iterator, Mapping, Sequence
+from typing import Callable, Iterator, Mapping, Sequence, TypeVar, cast
 
 import numpy as np
+
+from repro.nn.dtype import WIDE_DTYPE
 
 __all__ = [
     "Counter",
@@ -43,13 +45,16 @@ DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100
 
 _GAUGE_AGGREGATES = ("max", "min", "sum", "last")
 
+#: The concrete metric type a registry get-or-create call resolves to.
+M = TypeVar("M", bound="Counter | Gauge | Histogram")
+
 
 class Counter:
     """A monotonically increasing count; merges by addition."""
 
     __slots__ = ("name", "value")
 
-    def __init__(self, name: str, value: float = 0):
+    def __init__(self, name: str, value: float = 0) -> None:
         self.name = name
         self.value = value
 
@@ -78,7 +83,7 @@ class Gauge:
 
     __slots__ = ("name", "value", "updates", "aggregate")
 
-    def __init__(self, name: str, aggregate: str = "max"):
+    def __init__(self, name: str, aggregate: str = "max") -> None:
         if aggregate not in _GAUGE_AGGREGATES:
             raise ValueError(f"unknown gauge aggregate '{aggregate}', expected one of {_GAUGE_AGGREGATES}")
         self.name = name
@@ -131,7 +136,7 @@ class Histogram:
 
     __slots__ = ("name", "buckets", "counts", "count", "sum", "min", "max", "window_size", "window")
 
-    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS, window: int = 0):
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS, window: int = 0) -> None:
         bounds = tuple(float(b) for b in buckets)
         if not bounds:
             raise ValueError("a histogram needs at least one bucket bound")
@@ -172,7 +177,7 @@ class Histogram:
         if not 0 <= q <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
         if self.window:
-            return float(np.percentile(np.asarray(self.window, dtype=np.float64), q))
+            return float(np.percentile(np.asarray(self.window, dtype=WIDE_DTYPE), q))
         if not self.count:
             return 0.0
         target = q / 100.0 * self.count
@@ -238,14 +243,14 @@ class MetricsRegistry:
     registry is disabled.
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
 
     # -------------------------------------------------------------- #
     # Get-or-create
     # -------------------------------------------------------------- #
-    def _get(self, name: str, kind: type, factory):
+    def _get(self, name: str, kind: type[M], factory: Callable[[], M]) -> M:
         metric = self._metrics.get(name)
         if metric is None:
             metric = factory()
@@ -254,7 +259,7 @@ class MetricsRegistry:
             raise ValueError(
                 f"metric '{name}' is a {type(metric).__name__}, not a {kind.__name__}"
             )
-        return metric
+        return cast(M, metric)
 
     def counter(self, name: str) -> Counter:
         return self._get(name, Counter, lambda: Counter(name))

@@ -95,7 +95,7 @@ class Tracer:
         clock: Callable[[], float] | None = None,
         max_spans: int = 100_000,
         enabled: bool = True,
-    ):
+    ) -> None:
         if max_spans <= 0:
             raise ValueError(f"max_spans must be positive, got {max_spans}")
         self.clock = clock if clock is not None else time.perf_counter
@@ -158,22 +158,22 @@ class Tracer:
 class trace_span:
     """Span on the *default* tracer; context manager and decorator in one."""
 
-    def __init__(self, name: str, **attributes: Any):
+    def __init__(self, name: str, **attributes: Any) -> None:
         self.name = name
         self.attributes = attributes
-        self._cm = None
+        self._cm: Any = None
 
     def __enter__(self) -> Span:
         self._cm = get_tracer().span(self.name, **self.attributes)
         return self._cm.__enter__()
 
-    def __exit__(self, *exc_info) -> bool | None:
+    def __exit__(self, *exc_info: object) -> bool | None:
         cm, self._cm = self._cm, None
         return cm.__exit__(*exc_info)
 
     def __call__(self, fn: Callable) -> Callable:
         @functools.wraps(fn)
-        def wrapper(*args, **kwargs):
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
             with get_tracer().span(self.name, **self.attributes):
                 return fn(*args, **kwargs)
 

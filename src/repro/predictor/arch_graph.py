@@ -19,7 +19,7 @@ import numpy as np
 from repro.graph.adjacency import sum_aggregation_matrix
 from repro.hardware.cost_model import lower_op
 from repro.nas.architecture import Architecture, effective_op_to_descriptor
-from repro.nn.dtype import get_default_dtype
+from repro.nn.dtype import WIDE_DTYPE, get_default_dtype
 from repro.predictor.encoding import (
     COST_FEATURE_DIM,
     FEATURE_DIM,
@@ -114,7 +114,7 @@ def architecture_to_graph(
     feature_matrix = np.zeros((num_nodes, FEATURE_DIM), dtype=get_default_dtype())
     labels: list[str] = ["input"]
     feature_matrix[0, :base_dim] = _terminal_row("input")
-    cost_totals = np.zeros(3, dtype=np.float64)
+    cost_totals = np.zeros(3, dtype=WIDE_DTYPE)
     for row, op in enumerate(ops, start=1):
         labels.append(op.describe())
         feature_row, cost_row, quantities = _op_node_rows(op, num_points, k)

@@ -40,6 +40,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.graph.scatter import scatter_max, scatter_sum
+from repro.nn.dtype import WIDE_DTYPE
 from repro.nn.tensor import Tensor, concatenate, no_grad
 from repro.obs.metrics import get_metrics
 from repro.predictor.arch_graph import ArchitectureGraph
@@ -157,7 +158,7 @@ def predict_latencies(predictor, graphs: Sequence[ArchitectureGraph]) -> np.ndar
     why unpadded shapes are what makes the floats exact).
     """
     if not graphs:
-        return np.zeros(0, dtype=np.float64)  # latency milliseconds: metric bookkeeping
+        return np.zeros(0, dtype=WIDE_DTYPE)  # latency milliseconds: metric bookkeeping
     groups: dict[int, list[int]] = {}
     for index, graph in enumerate(graphs):
         groups.setdefault(graph.num_nodes, []).append(index)
@@ -166,13 +167,13 @@ def predict_latencies(predictor, graphs: Sequence[ArchitectureGraph]) -> np.ndar
     metrics.count("predictor.batch.graphs", len(graphs))
     metrics.count("predictor.batch.groups", len(groups))
     metrics.observe("predictor.batch.size", float(len(graphs)))
-    latencies = np.empty(len(graphs), dtype=np.float64)
+    latencies = np.empty(len(graphs), dtype=WIDE_DTYPE)
     with no_grad():
         for indices in groups.values():
             batch = collate_graphs([graphs[index] for index in indices])
             # The sequential path denormalizes a Python float (``.item()``
             # upcasts the network output to float64); match it exactly by
             # denormalizing in float64 regardless of the compute dtype.
-            standardised = forward_graph_batch(predictor, batch).numpy().astype(np.float64)
+            standardised = forward_graph_batch(predictor, batch).numpy().astype(WIDE_DTYPE)
             latencies[indices] = predictor.denormalize_to_ms(standardised)
     return latencies

@@ -27,6 +27,7 @@ import numpy as np
 from repro.graph.message import MESSAGE_TYPES
 from repro.nas.architecture import EffectiveOp
 from repro.nas.ops import AGGREGATOR_TYPES, COMBINE_DIMS, SAMPLE_METHODS
+from repro.nn.dtype import WIDE_DTYPE
 
 __all__ = [
     "NODE_TYPES",
@@ -77,7 +78,7 @@ def encode_cost_features(flops: float, irregular_bytes: float, knn_pair_dims: fl
             math.log10(1.0 + irregular_bytes) / 12.0,
             math.log10(1.0 + knn_pair_dims) / 12.0,
         ],
-        dtype=np.float64,
+        dtype=WIDE_DTYPE,
     )
 
 
@@ -85,14 +86,14 @@ def encode_node_type(node_type: str) -> np.ndarray:
     """One-hot encoding of a node kind."""
     if node_type not in NODE_TYPES:
         raise ValueError(f"unknown node type '{node_type}', expected one of {NODE_TYPES}")
-    vector = np.zeros(NODE_TYPE_DIM, dtype=np.float64)
+    vector = np.zeros(NODE_TYPE_DIM, dtype=WIDE_DTYPE)
     vector[NODE_TYPES.index(node_type)] = 1.0
     return vector
 
 
 def encode_function(op: EffectiveOp) -> np.ndarray:
     """Encode the function attributes of one effective operation."""
-    vector = np.zeros(FUNCTION_DIM, dtype=np.float64)
+    vector = np.zeros(FUNCTION_DIM, dtype=WIDE_DTYPE)
     offset = 0
     if op.kind == "aggregate":
         vector[offset + MESSAGE_TYPES.index(op.message_type)] = 1.0
@@ -135,7 +136,7 @@ def encode_global_node(num_points: int, k: int, num_ops: int) -> np.ndarray:
     """Feature vector of the global node, carrying input-data properties."""
     if num_points <= 0 or k <= 0:
         raise ValueError("num_points and k must be positive")
-    properties = np.zeros(FUNCTION_DIM, dtype=np.float64)
+    properties = np.zeros(FUNCTION_DIM, dtype=WIDE_DTYPE)
     properties[0] = math.log10(num_points) / 4.0  # ~[0.5, 1] for 1e2..1e4 points
     properties[1] = k / 64.0
     properties[2] = math.log10(num_points * k) / 6.0  # edge count

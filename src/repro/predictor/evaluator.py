@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.nas.architecture import Architecture
+from repro.nn.dtype import WIDE_DTYPE
 from repro.predictor.model import LatencyPredictor
 
 __all__ = ["PredictorLatencyEvaluator"]
@@ -31,4 +32,4 @@ class PredictorLatencyEvaluator:
 
     def evaluate_many(self, architectures: list[Architecture]) -> np.ndarray:
         """Batched predictions: one fused GCN+MLP forward for the whole list."""
-        return np.asarray(self.predictor.predict_many(architectures), dtype=np.float64)
+        return np.asarray(self.predictor.predict_many(architectures), dtype=WIDE_DTYPE)

@@ -6,13 +6,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.nn.dtype import WIDE_DTYPE
+
 __all__ = ["mape", "error_bound_accuracy", "PredictorMetrics", "compute_metrics"]
 
 
 def mape(predicted: np.ndarray, measured: np.ndarray, eps: float = 1e-9) -> float:
     """Mean absolute percentage error (fraction, not percent)."""
-    predicted = np.asarray(predicted, dtype=np.float64)
-    measured = np.asarray(measured, dtype=np.float64)
+    predicted = np.asarray(predicted, dtype=WIDE_DTYPE)
+    measured = np.asarray(measured, dtype=WIDE_DTYPE)
     if predicted.shape != measured.shape:
         raise ValueError("predicted and measured must have the same shape")
     if predicted.size == 0:
@@ -27,8 +29,8 @@ def error_bound_accuracy(predicted: np.ndarray, measured: np.ndarray, bound: flo
     """
     if bound <= 0:
         raise ValueError("bound must be positive")
-    predicted = np.asarray(predicted, dtype=np.float64)
-    measured = np.asarray(measured, dtype=np.float64)
+    predicted = np.asarray(predicted, dtype=WIDE_DTYPE)
+    measured = np.asarray(measured, dtype=WIDE_DTYPE)
     if predicted.size == 0:
         return 0.0
     relative = np.abs(predicted - measured) / np.maximum(np.abs(measured), 1e-9)
@@ -50,8 +52,8 @@ def _spearman(predicted: np.ndarray, measured: np.ndarray) -> float:
     """Spearman rank correlation (the search mostly needs correct ordering)."""
     if predicted.size < 2:
         return 0.0
-    rank_p = np.argsort(np.argsort(predicted)).astype(np.float64)
-    rank_m = np.argsort(np.argsort(measured)).astype(np.float64)
+    rank_p = np.argsort(np.argsort(predicted)).astype(WIDE_DTYPE)
+    rank_m = np.argsort(np.argsort(measured)).astype(WIDE_DTYPE)
     rank_p -= rank_p.mean()
     rank_m -= rank_m.mean()
     denom = np.sqrt((rank_p**2).sum() * (rank_m**2).sum())
@@ -60,8 +62,8 @@ def _spearman(predicted: np.ndarray, measured: np.ndarray) -> float:
 
 def compute_metrics(predicted: np.ndarray, measured: np.ndarray) -> PredictorMetrics:
     """Compute the full metric set used by the Fig. 8 experiment."""
-    predicted = np.asarray(predicted, dtype=np.float64)
-    measured = np.asarray(measured, dtype=np.float64)
+    predicted = np.asarray(predicted, dtype=WIDE_DTYPE)
+    measured = np.asarray(measured, dtype=WIDE_DTYPE)
     return PredictorMetrics(
         mape=mape(predicted, measured),
         bound_accuracy_10=error_bound_accuracy(predicted, measured, 0.10),

@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.graph.knn import knn_graph
 from repro.graph.sampling import random_graph
-from repro.nn.dtype import as_float_array
+from repro.nn.dtype import WIDE_DTYPE, as_float_array
 
 __all__ = ["CacheStats", "LRUCache", "cloud_fingerprint", "CachingGraphBuilder"]
 
@@ -117,7 +117,7 @@ def cloud_fingerprint(
     geometric difference changes it.  ``extra`` mixes additional context
     (e.g. the neighbourhood size ``k``) into the digest.
     """
-    quantised = np.round(np.asarray(points, dtype=np.float64), decimals)
+    quantised = np.round(np.asarray(points, dtype=WIDE_DTYPE), decimals)
     # Normalise -0.0 so that -1e-12 and +1e-12 round to the same bytes.
     quantised = quantised + 0.0
     digest = hashlib.blake2b(digest_size=16)

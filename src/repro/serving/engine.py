@@ -170,10 +170,16 @@ class InferenceEngine:
         points = np.asarray(points, dtype=get_default_dtype())
         if points.ndim != 2 or points.shape[0] == 0:
             raise ValueError(f"a request must be a non-empty (N, D) cloud, got shape {points.shape}")
-        expected_dim = entry.architecture.input_dim
-        if points.shape[1] != expected_dim:
+        if entry.signature is not None:
+            # O(1) admission check against the statically inferred contract —
+            # catches e.g. a single-point cloud sent to a KNN-sampling model
+            # up front instead of failing deep inside batch execution.
+            problems = entry.signature.validate_request(points.shape[0], points.shape[1])
+            if problems:
+                raise ValueError(f"model '{entry.name}' cannot serve this request: " + "; ".join(problems))
+        elif points.shape[1] != entry.architecture.input_dim:
             raise ValueError(
-                f"model '{entry.name}' expects {expected_dim}-D point features, "
+                f"model '{entry.name}' expects {entry.architecture.input_dim}-D point features, "
                 f"got a cloud of shape {points.shape}"
             )
         if not np.isfinite(points).all():

@@ -18,6 +18,8 @@ import re
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.analysis.shapes import StaticSignature, infer_signature
+from repro.analysis.validate import check_model_consistency, validate_architecture
 from repro.hardware.device import DeviceSpec
 from repro.nas.architecture import Architecture
 from repro.nas.derived import DerivedModel
@@ -48,6 +50,10 @@ class DeployedModel:
     #: computed by a replaced model.  Not persisted — every load is a fresh
     #: deployment.
     generation: int = 0
+    #: Statically inferred I/O contract (repro.analysis); computed at
+    #: registration, persisted with the entry, and used by the engine for
+    #: O(1) request validation.
+    signature: StaticSignature | None = None
 
     def __post_init__(self) -> None:
         if not _NAME_PATTERN.match(self.name):
@@ -70,6 +76,7 @@ class DeployedModel:
             "embed_dim": self.embed_dim,
             "seed": self.seed,
             "slo_ms": self.slo_ms,
+            "signature": None if self.signature is None else self.signature.to_dict(),
         }
 
 
@@ -114,11 +121,30 @@ class ModelRegistry:
             slo_ms: Optional per-request latency budget on ``device``.
             model: Pre-built (e.g. trained) model; instantiated fresh if omitted.
             replace: Allow overwriting an existing entry of the same name.
+
+        Raises:
+            ValueError: When the architecture is statically invalid for the
+                deployment scenario, or a supplied ``model`` is inconsistent
+                with the genotype it is registered under.
         """
         if name in self._entries and not replace:
             raise ValueError(f"model '{name}' already registered (pass replace=True)")
+        report = validate_architecture(
+            architecture, k=k, num_classes=num_classes, embed_dim=embed_dim
+        )
+        if not report.ok:
+            raise ValueError(
+                f"cannot deploy '{name}': architecture fails static validation\n{report.format()}"
+            )
         if model is None:
             model = DerivedModel(architecture, num_classes=num_classes, k=k, embed_dim=embed_dim, seed=seed)
+        else:
+            problems = check_model_consistency(model, architecture, num_classes, k)
+            if problems:
+                details = "\n".join(diag.format() for diag in problems)
+                raise ValueError(
+                    f"cannot deploy '{name}': model is inconsistent with its architecture\n{details}"
+                )
         model.eval()
         self._generation += 1
         entry = DeployedModel(
@@ -132,6 +158,7 @@ class ModelRegistry:
             seed=seed,
             slo_ms=slo_ms,
             generation=self._generation,
+            signature=report.signature,
         )
         self._entries[name] = entry
         return entry
@@ -147,7 +174,15 @@ class ModelRegistry:
         if deployed.name in self._entries and not replace:
             raise ValueError(f"model '{deployed.name}' already registered (pass replace=True)")
         self._generation += 1
-        entry = dataclasses.replace(deployed, generation=self._generation)
+        signature = deployed.signature
+        if signature is None:
+            signature = infer_signature(
+                deployed.architecture,
+                deployed.num_classes,
+                k=deployed.k,
+                embed_dim=deployed.embed_dim,
+            )
+        entry = dataclasses.replace(deployed, generation=self._generation, signature=signature)
         entry.model.eval()
         self._entries[entry.name] = entry
         return entry
@@ -211,4 +246,9 @@ class ModelRegistry:
                 slo_ms=None if meta["slo_ms"] is None else float(meta["slo_ms"]),
             )
             entry.model.load_state_dict(load_npz(directory / "weights" / f"{entry.name}.npz"))
+            # Restore the signature computed at original deployment time
+            # (e.g. its recorded compute dtype) rather than keeping the one
+            # register() just re-inferred under the current policy.
+            if meta.get("signature") is not None:
+                entry.signature = StaticSignature.from_dict(meta["signature"])
         return registry

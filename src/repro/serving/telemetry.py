@@ -20,6 +20,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.nn.dtype import WIDE_DTYPE
 from repro.obs.metrics import Counter, Histogram
 from repro.serving.cache import CacheStats
 from repro.utils.timer import Timer
@@ -117,7 +118,7 @@ class ModelTelemetry:
         keys = [f"p{p:g}" for p in percentiles]
         if not self._latency.window:
             return {key: 0.0 for key in keys}
-        values = np.asarray(self._latency.window, dtype=np.float64)
+        values = np.asarray(self._latency.window, dtype=WIDE_DTYPE)
         return {key: float(np.percentile(values, p)) for key, p in zip(keys, percentiles)}
 
     @property
