@@ -7,6 +7,7 @@ See :mod:`repro.analysis.lint.rules` for the invariant catalogue and
 from repro.analysis.lint.base import LintContext, LintRule, LintViolation, parse_waivers
 from repro.analysis.lint.rules import (
     ALL_RULES,
+    BackendPrimitiveRule,
     DtypeLiteralRule,
     LazyExportSyncRule,
     ObsMetricNamingRule,
@@ -26,6 +27,7 @@ __all__ = [
     "LintViolation",
     "parse_waivers",
     "ALL_RULES",
+    "BackendPrimitiveRule",
     "DtypeLiteralRule",
     "LazyExportSyncRule",
     "ObsMetricNamingRule",

@@ -17,6 +17,10 @@ Each rule pins one convention that earlier PRs established by hand:
 * ``unvalidated-index`` — the ``validated=True`` fast path of the scatter /
   fused kernels skips bounds checking; it is only sound in functions that
   obtained the edge index from a validating builder.
+* ``backend-primitive`` — segment reductions (``reduceat``) and unbuffered
+  scatter accumulation (``np.add.at`` and friends) are compute-backend
+  primitives (PR 8) owned by :mod:`repro.backends`; raw call sites elsewhere
+  bypass backend dispatch and silently pin the numpy implementation.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ __all__ = [
     "ObsMetricNamingRule",
     "LazyExportSyncRule",
     "UnvalidatedIndexRule",
+    "BackendPrimitiveRule",
     "ALL_RULES",
 ]
 
@@ -416,6 +421,55 @@ class UnvalidatedIndexRule(LintRule):
             )
 
 
+class BackendPrimitiveRule(LintRule):
+    """Kernel primitives (``reduceat`` / ufunc ``.at``) live in ``repro.backends``."""
+
+    name = "backend-primitive"
+    description = (
+        "reduceat / ufunc .at calls outside repro.backends bypass compute-backend "
+        "dispatch; route through repro.backends.active_backend()"
+    )
+
+    #: Ufunc receivers whose unbuffered ``.at`` form is a scatter primitive.
+    _UFUNC_NAMES = {"add", "maximum", "minimum", "subtract", "multiply", "divide", "reducer"}
+    _EXEMPT_PREFIX = "repro.backends"
+
+    def check(self, context: LintContext) -> Iterator[LintViolation]:
+        if context.module == self._EXEMPT_PREFIX or context.module.startswith(
+            self._EXEMPT_PREFIX + "."
+        ):
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+                continue
+            attribute = node.func.attr
+            if attribute == "reduceat":
+                chain = _attribute_chain(node.func) or "<expr>.reduceat"
+                yield context.violation(
+                    self.name,
+                    node,
+                    f"{chain} is a segment-reduction primitive; call "
+                    "active_backend().segment_reduce so alternative backends apply",
+                )
+            elif attribute == "at" and self._is_ufunc_receiver(node.func.value):
+                chain = _attribute_chain(node.func) or "<expr>.at"
+                yield context.violation(
+                    self.name,
+                    node,
+                    f"{chain} is an unbuffered scatter primitive; call "
+                    "active_backend().scatter_add/scatter_extreme so alternative backends apply",
+                )
+
+    def _is_ufunc_receiver(self, receiver: ast.AST) -> bool:
+        chain = _attribute_chain(receiver)
+        if not chain:
+            return False
+        parts = chain.split(".")
+        if parts[0] in ("np", "numpy"):
+            return True
+        return parts[-1] in self._UFUNC_NAMES
+
+
 #: Default rule set, in reporting order.
 ALL_RULES: tuple[type[LintRule], ...] = (
     DtypeLiteralRule,
@@ -423,4 +477,5 @@ ALL_RULES: tuple[type[LintRule], ...] = (
     ObsMetricNamingRule,
     LazyExportSyncRule,
     UnvalidatedIndexRule,
+    BackendPrimitiveRule,
 )

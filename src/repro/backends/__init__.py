@@ -1,0 +1,112 @@
+"""Pluggable compute backends behind the dtype policy.
+
+The hot path of the whole stack — the fused CSR message-passing kernels,
+the scatter aggregations, message gathers and the ``Linear`` matmuls —
+dispatches through a string-keyed :class:`~repro.backends.base.ComputeBackend`
+registry instead of calling numpy directly.  The registry mirrors the
+device and latency-evaluator registries: register under a canonical name,
+look up by name, scope the *active* backend with a context manager::
+
+    from repro.backends import use_backend
+
+    with use_backend("numpy-blocked"):
+        logits = model(batch)          # kernels run cache-blocked
+
+    with default_dtype("float64"), use_backend("numpy"):
+        ...                            # dtype x backend compose orthogonally
+
+Shipped backends:
+
+* ``numpy`` — the always-available reference (the PR-5 kernels verbatim;
+  bit-identical to the pre-registry code and the target every equivalence
+  test pins other backends to).
+* ``numpy-blocked`` — cache-blocked matmul and column-blocked segment
+  reduction (allclose to the reference).
+* ``materialized`` — reference primitives with fused-kernel auto-dispatch
+  disabled; replaces the old ``set_fused_kernels(False)`` boolean toggle.
+* ``numba`` — JIT-compiled scatter/segment loops, registered only when the
+  optional ``numba`` package is importable.
+
+This package imports nothing from ``repro.nn``/``repro.graph`` (they import
+*it*), so it is safe at the very bottom of the dependency graph.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import ComputeBackend
+from repro.backends.blocked import NumpyBlockedBackend
+from repro.backends.numba_backend import NumbaBackend
+from repro.backends.numpy_backend import MaterializedBackend, NumpyBackend
+from repro.backends.registry import (
+    active_backend,
+    active_backend_name,
+    get_backend,
+    list_backends,
+    register_backend,
+    set_active_backend,
+    unregister_backend,
+    use_backend,
+)
+
+__all__ = [
+    "ComputeBackend",
+    "NumpyBackend",
+    "NumpyBlockedBackend",
+    "MaterializedBackend",
+    "NumbaBackend",
+    "register_backend",
+    "unregister_backend",
+    "get_backend",
+    "list_backends",
+    "active_backend",
+    "active_backend_name",
+    "set_active_backend",
+    "use_backend",
+    "backend_status",
+]
+
+#: Optional backends probed (and registered) only when their dependency is
+#: importable; unavailable ones still show up in ``backend_status()``.
+_OPTIONAL_BACKENDS: tuple[type[ComputeBackend], ...] = (NumbaBackend,)
+
+register_backend(NumpyBackend())
+register_backend(NumpyBlockedBackend())
+register_backend(MaterializedBackend())
+for _optional in _OPTIONAL_BACKENDS:
+    if _optional.is_available():
+        register_backend(_optional())
+
+
+def backend_status() -> list[dict[str, object]]:
+    """Name/description/availability of every known backend (for the CLI).
+
+    Registered backends are available by definition; optional backends whose
+    dependency is missing are listed as unavailable so ``repro backends``
+    shows what *could* be enabled.
+    """
+    rows: list[dict[str, object]] = []
+    active = active_backend_name()
+    for name in list_backends():
+        backend = get_backend(name)
+        rows.append(
+            {
+                "name": name,
+                "available": True,
+                "active": name == active,
+                "fused_dispatch": backend.fused_dispatch,
+                "description": backend.description,
+            }
+        )
+    registered = set(list_backends())
+    for cls in _OPTIONAL_BACKENDS:
+        if cls.name not in registered:
+            rows.append(
+                {
+                    "name": cls.name,
+                    "available": False,
+                    "active": False,
+                    "fused_dispatch": cls.fused_dispatch,
+                    "description": cls.description,
+                }
+            )
+    return rows

@@ -30,8 +30,16 @@ runs in the dtype of the node features, so the float32 default policy
 seed implementation.
 
 :class:`~repro.models.edgeconv.EdgeConv`, :class:`~repro.nas.derived.DerivedModel`
-and the supernet dispatch here automatically in no-grad (inference) mode;
-:func:`use_fused_kernels` toggles that dispatch, e.g. for A/B benchmarks.
+and the supernet dispatch here automatically in no-grad (inference) mode.
+
+The low-level primitives (gather, matmul, segment reduction, scatter
+accumulation) are owned by the **active compute backend**
+(:mod:`repro.backends`); this module contributes the CSR layout, the
+segment-aligned chunking and the exact rematerializing backward, and calls
+:func:`repro.backends.active_backend` for the arithmetic.  Dispatch policy
+lives there too: the ``materialized`` backend disables fused auto-dispatch,
+and the :func:`use_fused_kernels`/:func:`set_fused_kernels` toggles of PR 5
+remain as thin shims over ``use_backend``.
 """
 
 from __future__ import annotations
@@ -41,6 +49,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.backends import active_backend, active_backend_name, set_active_backend, use_backend
 from repro.nn.layers import MLP, Dropout, Identity, LeakyReLU, Linear, ReLU, Sequential
 from repro.nn.tensor import Tensor, apply_op, as_tensor
 from repro.obs.metrics import get_metrics
@@ -64,30 +73,48 @@ FUSED_MESSAGE_TYPES = ("source_pos", "target_pos", "rel_pos", "target_rel")
 #: enough that BLAS and reduceat run at full throughput.
 _CHUNK_EDGES = 32768
 
-_FUSED_ENABLED = True
-
-
 def fused_kernels_enabled() -> bool:
-    """Whether models auto-dispatch to the fused kernels in no-grad mode."""
-    return _FUSED_ENABLED
+    """Whether models auto-dispatch to the fused kernels in no-grad mode.
+
+    The policy now lives on the active compute backend: the ``materialized``
+    backend is the one that answers ``False``.
+    """
+    return active_backend().fused_dispatch
+
+
+def _toggle_target(enabled: bool) -> str:
+    """Backend name that realizes the legacy boolean toggle.
+
+    Disabling means the ``materialized`` backend; re-enabling from the
+    materialized backend returns to the ``numpy`` reference.  Enabling while
+    a fused-capable backend (numpy, numpy-blocked, numba, ...) is already
+    active keeps it — the toggle never downgrades an explicit backend choice.
+    """
+    if not enabled:
+        return "materialized"
+    current = active_backend_name()
+    return "numpy" if not active_backend().fused_dispatch else current
 
 
 def set_fused_kernels(enabled: bool) -> None:
-    """Globally enable/disable fused-kernel dispatch."""
-    global _FUSED_ENABLED
-    _FUSED_ENABLED = bool(enabled)
+    """Deprecated: globally enable/disable fused-kernel dispatch.
+
+    Thin shim over :func:`repro.backends.set_active_backend`; prefer
+    ``set_active_backend("materialized")`` / ``set_active_backend("numpy")``.
+    """
+    set_active_backend(_toggle_target(bool(enabled)))
 
 
 @contextlib.contextmanager
 def use_fused_kernels(enabled: bool = True):
-    """Context manager that toggles fused-kernel dispatch."""
-    global _FUSED_ENABLED
-    previous = _FUSED_ENABLED
-    _FUSED_ENABLED = bool(enabled)
-    try:
+    """Deprecated: context manager that toggles fused-kernel dispatch.
+
+    Thin shim over :func:`repro.backends.use_backend` (kept so the PR-5
+    A/B benchmarks run unchanged); prefer
+    ``use_backend("materialized")`` / ``use_backend("numpy")``.
+    """
+    with use_backend(_toggle_target(bool(enabled))):
         yield
-    finally:
-        _FUSED_ENABLED = previous
 
 
 def linearize_mlp(mlp) -> list[tuple] | None:
@@ -155,19 +182,19 @@ def _csr_segments(edge_index: np.ndarray):
     return sources, targets, seg_nodes, seg_starts, seg_counts
 
 
-def _chunk_messages(xd, src, tgt, message_type):
+def _chunk_messages(backend, xd, src, tgt, message_type):
     if message_type == "source_pos":
-        return xd[src]
+        return backend.gather(xd, src)
     if message_type == "target_pos":
-        return xd[tgt]
+        return backend.gather(xd, tgt)
     if message_type == "rel_pos":
-        return xd[src] - xd[tgt]
+        return backend.gather(xd, src) - backend.gather(xd, tgt)
     # target_rel: [x_i, x_j - x_i]
-    x_i = xd[tgt]
-    return np.concatenate([x_i, xd[src] - x_i], axis=1)
+    x_i = backend.gather(xd, tgt)
+    return np.concatenate([x_i, backend.gather(xd, src) - x_i], axis=1)
 
 
-def _run_steps(h, steps, keep_intermediates: bool):
+def _run_steps(backend, h, steps, keep_intermediates: bool):
     """Apply linearized MLP steps; optionally keep per-step inputs for backprop."""
     inputs = [] if keep_intermediates else None
     for step in steps:
@@ -175,7 +202,7 @@ def _run_steps(h, steps, keep_intermediates: bool):
             inputs.append(h)
         if step[0] == "linear":
             _, weight, bias = step
-            h = h @ weight.data
+            h = backend.matmul(h, weight.data)
             if bias is not None:
                 h = h + bias.data
         else:
@@ -193,19 +220,19 @@ def _act_derivative(pre, slope, dtype):
     return np.where(pre > 0.0, dtype.type(1.0), dtype.type(slope))
 
 
-def _scatter_dmsg(dx, dmsg, src, tgt, message_type, feature_dim):
+def _scatter_dmsg(backend, dx, dmsg, src, tgt, message_type, feature_dim):
     if message_type == "source_pos":
-        np.add.at(dx, src, dmsg)
+        backend.scatter_add(dx, src, dmsg)
     elif message_type == "target_pos":
-        np.add.at(dx, tgt, dmsg)
+        backend.scatter_add(dx, tgt, dmsg)
     elif message_type == "rel_pos":
-        np.add.at(dx, src, dmsg)
-        np.add.at(dx, tgt, -dmsg)
+        backend.scatter_add(dx, src, dmsg)
+        backend.scatter_add(dx, tgt, -dmsg)
     else:  # target_rel
         d_centre = dmsg[:, :feature_dim]
         d_rel = dmsg[:, feature_dim:]
-        np.add.at(dx, tgt, d_centre - d_rel)
-        np.add.at(dx, src, d_rel)
+        backend.scatter_add(dx, tgt, d_centre - d_rel)
+        backend.scatter_add(dx, src, d_rel)
 
 
 def fused_edgeconv(
@@ -272,6 +299,10 @@ def fused_edgeconv(
         if edge_index[0].max() >= x.shape[0] or edge_index[1].max() >= target_bound:
             raise ValueError("edge_index references a node outside the graph")
 
+    # Captured once so the forward pass and the (possibly much later)
+    # rematerializing backward run on the same backend even if the ambient
+    # context changed in between.
+    backend = active_backend()
     metrics = get_metrics()
     metrics.count("graph.fused.dispatch")
     metrics.count("graph.fused.edges", int(edge_index.shape[1]))
@@ -287,7 +318,6 @@ def fused_edgeconv(
         if step[0] == "linear":
             out_dim = step[1].shape[1]
 
-    reducer = {"sum": np.add, "mean": np.add, "max": np.maximum, "min": np.minimum}[aggregator]
     out = np.zeros((dim_size, out_dim), dtype=dtype)
 
     # Chunk boundaries in segment space: each chunk covers whole segments
@@ -305,23 +335,11 @@ def fused_edgeconv(
 
     for s0, s1 in chunk_bounds:
         e0, e1 = int(seg_starts[s0]), int(seg_ends[s1 - 1])
-        h = _chunk_messages(xd, sources[e0:e1], targets[e0:e1], message_type)
-        h, _ = _run_steps(h, steps, keep_intermediates=False)
-        local_counts = seg_counts[s0:s1]
-        degree = int(local_counts[0]) if local_counts.size else 0
-        if degree and np.all(local_counts == degree):
-            # Uniform degree (the KNN/random-graph common case): a reshaped
-            # axis reduction is SIMD-vectorized, unlike ufunc.reduceat.
-            stacked = h.reshape(s1 - s0, degree, h.shape[1])
-            if aggregator in ("sum", "mean"):
-                red = stacked.sum(axis=1)
-            elif aggregator == "max":
-                red = stacked.max(axis=1)
-            else:
-                red = stacked.min(axis=1)
-        else:
-            red = reducer.reduceat(h, seg_starts[s0:s1] - e0, axis=0)
-        out[seg_nodes[s0:s1]] = red
+        h = _chunk_messages(backend, xd, sources[e0:e1], targets[e0:e1], message_type)
+        h, _ = _run_steps(backend, h, steps, keep_intermediates=False)
+        out[seg_nodes[s0:s1]] = backend.segment_reduce(
+            h, seg_starts[s0:s1] - e0, seg_counts[s0:s1], aggregator
+        )
 
     counts = None
     if aggregator == "mean":
@@ -352,8 +370,8 @@ def fused_edgeconv(
             e0, e1 = int(seg_starts[s0]), int(seg_ends[s1 - 1])
             src = sources[e0:e1]
             tgt = targets[e0:e1]
-            h = _chunk_messages(xd, src, tgt, message_type)
-            h, inputs = _run_steps(h, steps, keep_intermediates=True)
+            h = _chunk_messages(backend, xd, src, tgt, message_type)
+            h, inputs = _run_steps(backend, h, steps, keep_intermediates=True)
             local_counts = seg_counts[s0:s1]
             seg_of_edge = np.repeat(np.arange(s1 - s0), local_counts)
             if aggregator in ("sum", "mean"):
@@ -361,19 +379,21 @@ def fused_edgeconv(
             else:
                 winners = (h == out[seg_nodes[s0:s1]][seg_of_edge]).astype(dtype)
                 local_starts = seg_starts[s0:s1] - e0
-                winner_counts = np.add.reduceat(winners, local_starts, axis=0)
+                # Winner counts are small exact integers, so any backend's
+                # summation order yields identical bits here.
+                winner_counts = backend.segment_reduce(winners, local_starts, local_counts, "sum")
                 g = winners * (grad[seg_nodes[s0:s1]] / winner_counts)[seg_of_edge]
             for step, layer_in in zip(reversed(steps), reversed(inputs)):
                 if step[0] == "linear":
                     _, weight, bias = step
-                    d_weights[id(step)] += layer_in.T @ g
+                    d_weights[id(step)] += backend.matmul(layer_in.T, g)
                     if bias is not None:
                         d_biases[id(step)] += g.sum(axis=0)
-                    g = g @ weight.data.T
+                    g = backend.matmul(g, weight.data.T)
                 else:
                     g = g * _act_derivative(layer_in, step[1], dtype)
             if dx is not None:
-                _scatter_dmsg(dx, g, src, tgt, message_type, feature_dim)
+                _scatter_dmsg(backend, dx, g, src, tgt, message_type, feature_dim)
         grads: list[np.ndarray | None] = [dx]
         for step in linear_steps:
             grads.append(d_weights[id(step)])

@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backends import active_backend
 from repro.graph.edge_index import validate_edge_index
-from repro.nn.tensor import Tensor, as_tensor, concatenate
+from repro.nn.tensor import Tensor, apply_op, as_tensor, concatenate
 
 __all__ = ["MESSAGE_TYPES", "message_dim", "build_messages"]
 
@@ -58,6 +59,24 @@ def message_dim(message_type: str, feature_dim: int) -> int:
     raise ValueError(f"unknown message type '{message_type}', expected one of {MESSAGE_TYPES}")
 
 
+def _gather_nodes(features: Tensor, index: np.ndarray) -> Tensor:
+    """Differentiable endpoint gather through the active compute backend.
+
+    Forward is ``features[index]``; backward scatter-accumulates the output
+    gradient back onto the gathered rows — both dispatched so a backend can
+    substitute its own irregular-access kernels.
+    """
+    backend = active_backend()
+    data = backend.gather(features.data, index)
+
+    def backward_fn(grad: np.ndarray) -> list[np.ndarray]:
+        full = np.zeros_like(features.data)
+        backend.scatter_add(full, index, grad)
+        return [full]
+
+    return apply_op(data, (features,), backward_fn)
+
+
 def build_messages(
     features: Tensor, edge_index: np.ndarray, message_type: str, validated: bool = False
 ) -> Tensor:
@@ -87,8 +106,8 @@ def build_messages(
         edge_index = validate_edge_index(edge_index, features.shape[0])
     sources, targets = edge_index[0], edge_index[1]
 
-    x_j = features[sources]
-    x_i = features[targets]
+    x_j = _gather_nodes(features, sources)
+    x_i = _gather_nodes(features, targets)
 
     if message_type == "source_pos":
         return x_j

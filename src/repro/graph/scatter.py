@@ -6,7 +6,10 @@ shape ``(num_nodes, F)``.  All four aggregators of the HGNAS function space
 (Table I) are supported: ``sum``, ``mean``, ``max`` and ``min``.
 
 Outputs are allocated in the dtype of the incoming messages, so a float32
-pipeline aggregates in float32 (see :mod:`repro.nn.dtype`).
+pipeline aggregates in float32 (see :mod:`repro.nn.dtype`).  The
+irregular-access arithmetic (gather and unbuffered scatter accumulation)
+dispatches through the active compute backend (:mod:`repro.backends`);
+each op captures the backend once so its backward runs on the same one.
 
 Validation of the ``index`` array (1-D, in range) costs a full ``min``/
 ``max`` scan per call.  Edge indices produced by the repo's own graph
@@ -20,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backends import active_backend
 from repro.nn.tensor import Tensor, apply_op, as_tensor
 from repro.obs.metrics import get_metrics
 
@@ -80,28 +84,30 @@ def _check_inputs(
 
 def scatter_sum(src: Tensor, index: np.ndarray, dim_size: int, validated: bool = False) -> Tensor:
     """Sum messages per target node."""
+    backend = active_backend()
     src, index = _check_inputs(src, index, dim_size, validated)
     out = np.zeros((dim_size, src.shape[1]), dtype=src.data.dtype)
-    np.add.at(out, index, src.data)
+    backend.scatter_add(out, index, src.data)
 
     def backward_fn(grad: np.ndarray) -> list[np.ndarray]:
-        return [grad[index]]
+        return [backend.gather(grad, index)]
 
     return apply_op(out, (src,), backward_fn)
 
 
 def scatter_mean(src: Tensor, index: np.ndarray, dim_size: int, validated: bool = False) -> Tensor:
     """Average messages per target node (empty targets yield zero)."""
+    backend = active_backend()
     src, index = _check_inputs(src, index, dim_size, validated)
     dtype = src.data.dtype
     counts = np.bincount(index, minlength=dim_size).astype(dtype)
     safe_counts = np.maximum(counts, 1.0)
     out = np.zeros((dim_size, src.shape[1]), dtype=dtype)
-    np.add.at(out, index, src.data)
+    backend.scatter_add(out, index, src.data)
     out /= safe_counts[:, None]
 
     def backward_fn(grad: np.ndarray) -> list[np.ndarray]:
-        return [(grad / safe_counts[:, None])[index]]
+        return [backend.gather(grad / safe_counts[:, None], index)]
 
     return apply_op(out, (src,), backward_fn)
 
@@ -109,12 +115,12 @@ def scatter_mean(src: Tensor, index: np.ndarray, dim_size: int, validated: bool 
 def _scatter_extreme(
     src: Tensor, index: np.ndarray, dim_size: int, mode: str, validated: bool
 ) -> Tensor:
+    backend = active_backend()
     src, index = _check_inputs(src, index, dim_size, validated)
     dtype = src.data.dtype
     fill = -np.inf if mode == "max" else np.inf
-    reducer = np.maximum if mode == "max" else np.minimum
     out = np.full((dim_size, src.shape[1]), fill, dtype=dtype)
-    reducer.at(out, index, src.data)
+    backend.scatter_extreme(out, index, src.data, mode)
     empty = ~np.isfinite(out)
     out = np.where(empty, dtype.type(0.0), out)
 
@@ -122,11 +128,11 @@ def _scatter_extreme(
         # The winners (possibly tied) receive the gradient, split equally.
         # Computed here rather than in the forward pass so inference-only
         # callers (e.g. batched population scoring) never pay for it.
-        winner_mask = (src.data == out[index]) & ~empty[index]
+        winner_mask = (src.data == backend.gather(out, index)) & ~backend.gather(empty, index)
         winner_counts = np.zeros((dim_size, src.shape[1]), dtype=dtype)
-        np.add.at(winner_counts, index, winner_mask.astype(dtype))
+        backend.scatter_add(winner_counts, index, winner_mask.astype(dtype))
         winner_counts = np.maximum(winner_counts, 1.0)
-        return [winner_mask * (grad / winner_counts)[index]]
+        return [winner_mask * backend.gather(grad / winner_counts, index)]
 
     return apply_op(out, (src,), backward_fn)
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backends import active_backend
 from repro.nn.dtype import get_default_dtype
 from repro.nn.tensor import Tensor, apply_op, as_tensor
 
@@ -15,6 +16,7 @@ __all__ = [
     "softmax",
     "log_softmax",
     "dropout",
+    "matmul",
     "linear",
     "one_hot",
     "embedding_lookup",
@@ -74,9 +76,40 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True
     return x * Tensor(mask)
 
 
+def matmul(x: Tensor, weight: Tensor) -> Tensor:
+    """Dense product ``x @ weight`` through the active compute backend.
+
+    The ``Linear`` hot path: the 2-D x 2-D case (and the batched 3-D x 2-D
+    case) dispatches forward and backward products to
+    :func:`repro.backends.active_backend`, so e.g. the ``numpy-blocked``
+    backend runs every dense layer cache-blocked.  Other shapes fall back to
+    :meth:`Tensor.__matmul__`, whose semantics this op mirrors exactly.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    if x.ndim < 2 or weight.ndim != 2:
+        return x @ weight
+    backend = active_backend()
+    out = backend.matmul(x.data, weight.data)
+
+    def backward_fn(grad: np.ndarray) -> list[np.ndarray | None]:
+        dx = backend.matmul(grad, weight.data.T) if x.requires_grad else None
+        if not weight.requires_grad:
+            return [dx, None]
+        if x.ndim == 2:
+            dw = backend.matmul(x.data.T, grad)
+        else:
+            # Batched input: contract per batch; apply_op unbroadcasts the
+            # leading dimensions onto the 2-D weight (summing over them).
+            dw = np.swapaxes(x.data, -1, -2) @ grad
+        return [dx, dw]
+
+    return apply_op(out, (x, weight), backward_fn)
+
+
 def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
     """Affine map ``x @ weight + bias``."""
-    out = as_tensor(x) @ weight
+    out = matmul(x, weight)
     if bias is not None:
         out = out + bias
     return out
@@ -96,13 +129,14 @@ def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
 
 def embedding_lookup(table: Tensor, indices: np.ndarray) -> Tensor:
     """Differentiable row lookup ``table[indices]``."""
+    backend = active_backend()
     table = as_tensor(table)
     indices = np.asarray(indices, dtype=np.int64)
-    data = table.data[indices]
+    data = backend.gather(table.data, indices)
 
     def backward_fn(grad: np.ndarray) -> list[np.ndarray]:
         full = np.zeros_like(table.data)
-        np.add.at(full, indices, grad)
+        backend.scatter_add(full, indices, grad)
         return [full]
 
     return apply_op(data, (table,), backward_fn)

@@ -384,6 +384,7 @@ class Tensor:
 
             def _backward() -> None:
                 grad = np.zeros_like(self.data)
+                # repro-lint: allow[backend-primitive] generic fancy-index accumulation, not a graph kernel
                 np.add.at(grad, index, out.grad)
                 self._accumulate(grad)
 

@@ -28,11 +28,13 @@ internally so callers get a simple blocking API.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backends import active_backend_name, get_backend, use_backend
 from repro.data.dataset import Batch
 from repro.graph.batching import pack_clouds
 from repro.hardware.latency import estimate_latency
@@ -62,12 +64,17 @@ class EngineConfig:
     max_queue_depth: int = 1024
     quantize_decimals: int = 6
     telemetry_window: int = 1024
+    #: Compute backend batches execute under (a registered name from
+    #: :mod:`repro.backends`); ``None`` follows the ambient active backend.
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.max_queue_depth <= 0:
             raise ValueError(f"max_queue_depth must be positive, got {self.max_queue_depth}")
         if self.result_cache_capacity < 0 or self.edge_cache_capacity < 0:
             raise ValueError("cache capacities must be >= 0")
+        if self.backend is not None:
+            get_backend(self.backend)  # fail fast on unknown names
 
 
 @dataclass
@@ -129,6 +136,15 @@ class InferenceEngine:
         self._pending: dict[int, _PendingSlot] = {}
         self._latency_estimates: dict[tuple[str, int], float] = {}
         self._next_request_id = 0
+
+    def _backend_name(self) -> str:
+        """Backend batches of this engine execute under (for cache identity)."""
+        return self.config.backend or active_backend_name()
+
+    def _backend_context(self):
+        if self.config.backend is None:
+            return contextlib.nullcontext()
+        return use_backend(self.config.backend)
 
     # ------------------------------------------------------------------ #
     # Admission control
@@ -192,9 +208,13 @@ class InferenceEngine:
         points = self._validate_points(entry, points)
         estimated = self._admit(entry, points)
         # The generation distinguishes redeployments of the same name, so a
-        # replace=True re-registration can never serve stale cached logits.
+        # replace=True re-registration can never serve stale cached logits;
+        # the backend name keeps logits computed by different kernel variants
+        # (bit-different under e.g. blocked summation) from aliasing.
         fingerprint = cloud_fingerprint(
-            points, self.config.quantize_decimals, extra=(model, entry.generation)
+            points,
+            self.config.quantize_decimals,
+            extra=(model, entry.generation, self._backend_name()),
         )
         request_id = self._next_request_id
         self._next_request_id += 1
@@ -336,7 +356,7 @@ class InferenceEngine:
             self._graph_builder if self.config.edge_cache_capacity > 0 else self._uncached_builder
         )
         try:
-            with telemetry.busy, no_grad():
+            with telemetry.busy, no_grad(), self._backend_context():
                 logits = entry.model(batch).data
         finally:
             entry.model.graph_builder = None

@@ -18,6 +18,7 @@ The one-shot helpers in :mod:`repro.api` are thin shims over a throwaway
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import pathlib
 from dataclasses import dataclass
@@ -25,6 +26,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.backends import active_backend_name, get_backend, use_backend
 from repro.data.dataset import InMemoryDataset
 from repro.hardware.device import DeviceSpec, get_device
 from repro.hardware.profiler import ProfileResult, profile_workload
@@ -116,6 +118,10 @@ class Workspace:
             per-call overrides.
         registry: Serving registry to deploy into; a fresh one is created
             when omitted.
+        backend: Compute backend (a registered name from
+            :mod:`repro.backends`) the stages run under; ``None`` follows the
+            ambient active backend.  Orthogonal to the dtype policy; recorded
+            in stage spans and artifact cache keys either way.
 
     Repeating a stage call with identical inputs returns the persisted
     artifact instead of recomputing (``fresh=True`` bypasses and overwrites).
@@ -127,9 +133,11 @@ class Workspace:
         root: str | pathlib.Path | None = None,
         defaults: InferenceDefaults | None = None,
         registry: ModelRegistry | None = None,
+        backend: str | None = None,
     ):
         self.device = device if isinstance(device, DeviceSpec) else get_device(device)
         self.defaults = defaults if defaults is not None else DEFAULTS
+        self.backend = None if backend is None else get_backend(backend).name
         self.store = ArtifactStore(root)
         self.registry = registry if registry is not None else ModelRegistry()
         self._engine: InferenceEngine | None = None
@@ -150,6 +158,20 @@ class Workspace:
         # same name with different coefficients must not share artifacts.
         return dataclasses.asdict(self.device)
 
+    def _backend_name(self) -> str:
+        """The effective compute backend of this workspace's stages.
+
+        Part of every compute-stage artifact key: backends are numerically
+        equivalent only to allclose (blocked/jitted summation orders differ),
+        so artifacts produced under different backends must not alias.
+        """
+        return self.backend or active_backend_name()
+
+    def _backend_context(self):
+        if self.backend is None:
+            return contextlib.nullcontext()
+        return use_backend(self.backend)
+
     # ------------------------------------------------------------------ #
     # Stage 1: profiling / measurement
     # ------------------------------------------------------------------ #
@@ -161,7 +183,7 @@ class Workspace:
         num_classes: int | None = None,
     ) -> ProfileResult:
         """Latency breakdown and peak memory of ``architecture`` on this device."""
-        with trace_span("workspace.profile", device=self.device.name):
+        with trace_span("workspace.profile", device=self.device.name, backend=self._backend_name()):
             scenario = self.defaults.resolve(num_points=num_points, k=k, num_classes=num_classes)
             workload = architecture.to_workload(scenario.num_points, scenario.k, scenario.num_classes)
             return profile_workload(workload, self.device)
@@ -176,7 +198,9 @@ class Workspace:
         seed: int | None = None,
     ) -> float:
         """Latency (ms) on this device, optionally with simulated measurement noise."""
-        with trace_span("workspace.measure_latency", device=self.device.name, noisy=noisy):
+        with trace_span(
+            "workspace.measure_latency", device=self.device.name, noisy=noisy, backend=self._backend_name()
+        ):
             scenario = self.defaults.resolve(num_points=num_points, k=k, num_classes=num_classes, seed=seed)
             evaluator = make_latency_evaluator(
                 "measurement" if noisy else "oracle",
@@ -210,7 +234,9 @@ class Workspace:
         result is persisted in the artifact store keyed by device, sampling
         scale, both configs and seed, so an identical call skips training.
         """
-        with trace_span("workspace.train_predictor", device=self.device.name) as span:
+        with trace_span(
+            "workspace.train_predictor", device=self.device.name, backend=self._backend_name()
+        ) as span, self._backend_context():
             seed = self.defaults.seed if seed is None else seed
             predictor_config = predictor_config or PredictorConfig(
                 gcn_dims=(32, 48, 48),
@@ -234,6 +260,9 @@ class Workspace:
                     "predictor_config": dataclasses.asdict(predictor_config),
                     "training_config": dataclasses.asdict(training_config),
                     "seed": seed,
+                    # Backends are only allclose-equivalent, so artifacts from
+                    # different backends must not alias each other.
+                    "backend": self._backend_name(),
                 },
             )
             if not fresh:
@@ -353,11 +382,16 @@ class Workspace:
                     if may_use_workspace_predictor
                     else None
                 ),
+                "backend": self._backend_name(),
             },
         )
         with trace_span(
-            "workspace.search", device=self.device.name, oracle=oracle, strategy=strategy
-        ) as span:
+            "workspace.search",
+            device=self.device.name,
+            oracle=oracle,
+            strategy=strategy,
+            backend=self._backend_name(),
+        ) as span, self._backend_context():
             if not fresh:
                 cached = self.store.load("search", key)
                 if cached is not None:
@@ -415,7 +449,9 @@ class Workspace:
         and training data), so re-deriving the same model loads them instead
         of re-training.  Untrained instantiation is cheap and never cached.
         """
-        with trace_span("workspace.derive", device=self.device.name) as span:
+        with trace_span(
+            "workspace.derive", device=self.device.name, backend=self._backend_name()
+        ) as span, self._backend_context():
             scenario = self.defaults.resolve(k=k, embed_dim=embed_dim, seed=seed)
             model = DerivedModel(
                 architecture,
@@ -438,6 +474,7 @@ class Workspace:
                     "train_data": dataset_fingerprint(train_dataset),
                     "train_epochs": train_epochs,
                     "train_batch_size": train_batch_size,
+                    "backend": self._backend_name(),
                 },
             )
             if not fresh:
@@ -487,7 +524,7 @@ class Workspace:
         fresh: bool = False,
     ) -> DeployedModel:
         """Derive (via the cache) and register ``architecture`` in this workspace's registry."""
-        with trace_span("workspace.deploy", device=self.device.name):
+        with trace_span("workspace.deploy", device=self.device.name, backend=self._backend_name()):
             scenario = self.defaults.resolve(k=k, embed_dim=embed_dim, seed=seed)
             model = self.derive(
                 architecture,
@@ -521,11 +558,17 @@ class Workspace:
         """The workspace's persistent inference engine (caches stay warm).
 
         Created on first use; passing a different ``config`` later rebuilds
-        it (and drops the warm caches).
+        it (and drops the warm caches).  A workspace pinned to a compute
+        backend passes it down to the engine unless the config already names
+        one of its own.
         """
-        if self._engine is None or (config is not None and config != self._engine_config):
-            self._engine_config = config
-            self._engine = InferenceEngine(self.registry, config)
+        if config is not None or self._engine is None:
+            resolved = config
+            if self.backend is not None and (resolved is None or resolved.backend is None):
+                resolved = dataclasses.replace(resolved or EngineConfig(), backend=self.backend)
+            if self._engine is None or (config is not None and resolved != self._engine_config):
+                self._engine_config = resolved
+                self._engine = InferenceEngine(self.registry, resolved)
         return self._engine
 
     def serve(
@@ -546,7 +589,13 @@ class Workspace:
                 raise ValueError("no deployed models in this workspace; call deploy() first")
             name = self._last_deployed if self._last_deployed in names else names[-1]
         clouds = list(clouds)
-        with trace_span("workspace.serve", device=self.device.name, model=name, requests=len(clouds)):
+        with trace_span(
+            "workspace.serve",
+            device=self.device.name,
+            model=name,
+            requests=len(clouds),
+            backend=self._backend_name(),
+        ):
             engine = self.engine(config)
             results = engine.submit_many(name, clouds)
             return ServeReport(results=results, telemetry=engine.report(), engine=engine)

@@ -347,6 +347,44 @@ class TestLintRules:
         assert len(violations) == 2
         assert any("no reason" in v.message for v in violations)
 
+    def test_backend_primitive_rule(self, tmp_path):
+        violations = _violations_for(
+            tmp_path,
+            """
+            import numpy as np
+
+            def bad_scatter(out, index, values):
+                np.add.at(out, index, values)
+
+            def bad_reduce(values, starts, reducer):
+                return reducer.reduceat(values, starts, axis=0)
+
+            def bad_extreme(out, index, values):
+                np.maximum.at(out, index, values)
+
+            def waived(out, index, values):
+                # repro-lint: allow[backend-primitive] fixture exercising the waiver path
+                np.add.at(out, index, values)
+
+            def fine(out, index, values):
+                out[index] = values
+                return np.add(out, values)
+            """,
+            "backend-primitive",
+        )
+        assert [v.line for v in violations] == [5, 8, 11]
+        assert "segment-reduction" in violations[1].message
+        assert "scatter" in violations[0].message
+
+    def test_backend_primitive_rule_exempts_backends_package(self):
+        import pathlib
+
+        import repro
+
+        backends_dir = pathlib.Path(repro.__file__).parent / "backends"
+        violations = [v for v in lint_paths([backends_dir]) if v.rule == "backend-primitive"]
+        assert violations == []
+
     def test_syntax_error_reported_not_raised(self, tmp_path):
         broken = tmp_path / "broken.py"
         broken.write_text("def oops(:\n")
@@ -361,7 +399,7 @@ class TestLintRules:
 
     def test_rule_names_are_unique_and_documented(self):
         names = [rule.name for rule in ALL_RULES]
-        assert len(set(names)) == len(names) == 5
+        assert len(set(names)) == len(names) == 6
         assert all(rule.description for rule in ALL_RULES)
 
 
