@@ -1,0 +1,168 @@
+"""Multi-worker serving: aggregate throughput must scale with worker count.
+
+The tentpole claim of the process-pool engine, quantified: a concurrent
+load generator (every request dispatched before any result is awaited)
+drives the same unique-cloud stream through 1-worker and 4-worker pools,
+and the 4-worker pool must serve it at >= 3x the aggregate throughput.
+Correctness gates ride along on any machine: pool results bit-identical
+to single-process serving for cached and uncached requests, and merged
+fleet telemetry totals equal to the sum of the per-worker snapshots.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.hardware import get_device
+from repro.nas import device_fast_architecture
+from repro.serving import EngineConfig, InferenceEngine, ModelRegistry, PoolConfig, WorkerPoolEngine
+
+NUM_REQUESTS = 32
+NUM_POINTS = 192
+K = 8
+NUM_CLASSES = 10
+SCALING_WORKERS = 4
+SCALING_FLOOR = 3.0
+
+
+def _make_registry() -> ModelRegistry:
+    registry = ModelRegistry()
+    registry.register(
+        "bench",
+        device_fast_architecture("jetson-tx2"),
+        get_device("jetson-tx2"),
+        num_classes=NUM_CLASSES,
+        k=K,
+    )
+    return registry
+
+
+def _unique_stream(count: int = NUM_REQUESTS, num_points: int = NUM_POINTS) -> list[np.ndarray]:
+    rng = np.random.default_rng(0)
+    return [rng.standard_normal((num_points, 3)) for _ in range(count)]
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _concurrent_rps(pool: WorkerPoolEngine, stream: list[np.ndarray], rounds: int = 2) -> float:
+    """Best-of-rounds aggregate requests/s under the concurrent generator.
+
+    All requests are dispatched before any result is awaited, so every
+    worker has queued work for the whole measurement window.  Caches are
+    disabled by the caller, so every round recomputes every request.
+    """
+    best = 0.0
+    for _ in range(rounds):
+        start = time.perf_counter()
+        futures = [pool.submit("bench", cloud) for cloud in stream]
+        results = [future.result(timeout=120) for future in futures]
+        elapsed = time.perf_counter() - start
+        assert len(results) == len(stream)
+        best = max(best, len(results) / elapsed)
+    return best
+
+
+def _nocache_config(max_batch_size: int = 8) -> EngineConfig:
+    return EngineConfig(
+        max_batch_size=max_batch_size, result_cache_capacity=0, edge_cache_capacity=0
+    )
+
+
+def test_throughput_scales_to_four_workers(benchmark):
+    """Aggregate throughput at 4 workers must be >= 3x the 1-worker pool."""
+    cores = _usable_cores()
+    if cores < SCALING_WORKERS:
+        pytest.skip(
+            f"scaling gate needs >= {SCALING_WORKERS} usable cores to run "
+            f"{SCALING_WORKERS} workers in parallel; this machine has {cores}"
+        )
+    registry = _make_registry()
+    stream = _unique_stream()
+    pool_kwargs = dict(shared_cache=False, request_timeout_s=120.0)
+
+    with WorkerPoolEngine(registry, _nocache_config(), PoolConfig(workers=1, **pool_kwargs)) as pool:
+        pool.submit_many("bench", stream[:4])  # warm the worker process
+        single_rps = _concurrent_rps(pool, stream)
+
+    with WorkerPoolEngine(
+        registry, _nocache_config(), PoolConfig(workers=SCALING_WORKERS, **pool_kwargs)
+    ) as pool:
+        pool.submit_many("bench", stream[: 2 * SCALING_WORKERS])  # warm every worker
+        scaled_rps = _concurrent_rps(pool, stream)
+        benchmark.pedantic(
+            lambda: [f.result(timeout=120) for f in [pool.submit("bench", c) for c in stream]],
+            rounds=1,
+            iterations=1,
+        )
+
+    scaling = scaled_rps / single_rps
+    benchmark.extra_info["single_worker_rps"] = round(single_rps, 1)
+    benchmark.extra_info[f"workers{SCALING_WORKERS}_rps"] = round(scaled_rps, 1)
+    benchmark.extra_info["scaling"] = round(scaling, 2)
+    assert scaling >= SCALING_FLOOR, (
+        f"aggregate throughput scaled only {scaling:.2f}x from 1 to {SCALING_WORKERS} workers "
+        f"({single_rps:.1f} -> {scaled_rps:.1f} req/s); the gate requires >= {SCALING_FLOOR}x"
+    )
+
+
+def test_pool_bit_identical_to_single_process(benchmark):
+    """Pool results match in-process serving bit-for-bit, cached and uncached.
+
+    max_batch_size=1 pins every computation to a canonical batch of one —
+    the composition-independence regime where bitwise comparison across
+    serving topologies is well-defined (BLAS kernels are not bitwise
+    stable across batch shapes).
+    """
+    registry = _make_registry()
+    stream = _unique_stream(count=16, num_points=48)
+    engine = InferenceEngine(registry, EngineConfig(max_batch_size=1))
+    expected = [engine.submit("bench", cloud).logits for cloud in stream]
+
+    with WorkerPoolEngine(
+        registry, EngineConfig(max_batch_size=1), PoolConfig(workers=2)
+    ) as pool:
+        uncached = benchmark.pedantic(
+            lambda: pool.submit_many("bench", stream), rounds=1, iterations=1
+        )
+        # Second wave: served from the result caches (local or shared tier).
+        cached = pool.submit_many("bench", stream)
+
+    assert sum(result.from_cache for result in cached) == len(stream)
+    for logits, first, second in zip(expected, uncached, cached):
+        assert np.array_equal(logits, first.logits)
+        assert np.array_equal(logits, second.logits)
+
+
+def test_fleet_telemetry_totals_equal_worker_sums(benchmark):
+    """Merged fleet totals must equal the sum of the per-worker snapshots."""
+    registry = _make_registry()
+    stream = _unique_stream(count=24, num_points=48)
+    pool = WorkerPoolEngine(registry, _nocache_config(), PoolConfig(workers=3))
+    try:
+        benchmark.pedantic(lambda: pool.submit_many("bench", stream), rounds=1, iterations=1)
+    finally:
+        pool.shutdown()
+
+    per_worker = [
+        int(snapshot["telemetry"]["models"]["bench"]["served"]["value"])
+        for snapshot in pool.worker_snapshots.values()
+        if "bench" in snapshot["telemetry"]["models"]
+    ]
+    fleet = pool.fleet_telemetry().model("bench")
+    benchmark.extra_info["per_worker_served"] = per_worker
+    benchmark.extra_info["fleet_served"] = fleet.served
+    assert fleet.served == sum(per_worker) == len(stream)
+    assert fleet.batches == sum(
+        int(snapshot["telemetry"]["models"]["bench"]["batches"]["value"])
+        for snapshot in pool.worker_snapshots.values()
+        if "bench" in snapshot["telemetry"]["models"]
+    )

@@ -284,6 +284,25 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--slo-ms", type=float, default=None, help="per-request latency SLO on the target device")
     parser.add_argument("--no-cache", action="store_true", help="disable result and edge caches")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; >1 serves through the multi-process pool (default: 1, in-process)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="with --workers, also serve the request stream over the JSON-lines TCP frontend "
+        "on this port (0 binds an ephemeral port)",
+    )
+    parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        help="per-request deadline in seconds for the worker pool (default: 30)",
+    )
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -292,6 +311,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _serve_stream(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        raise ValueError(f"--workers must be >= 1, got {args.workers}")
     workspace = Workspace(device=args.device, root=args.root, backend=args.backend)
     architecture = device_fast_architecture(workspace.device.name)
     deployed = workspace.deploy(
@@ -316,6 +337,9 @@ def _serve_stream(args: argparse.Namespace) -> int:
         else:
             clouds.append(rng.standard_normal((args.num_points, 3)))
 
+    if args.workers > 1:
+        return _serve_pool_stream(args, workspace, deployed.name, engine_config, clouds)
+
     report = workspace.serve(clouds, name=deployed.name, config=engine_config)
     print(
         f"served {len(report.results)} requests ({args.dtype}) on "
@@ -323,6 +347,73 @@ def _serve_stream(args: argparse.Namespace) -> int:
     )
     print(report.engine.format_report())
     return 0
+
+
+def _serve_pool_stream(
+    args: argparse.Namespace,
+    workspace: Workspace,
+    name: str,
+    engine_config: EngineConfig,
+    clouds: list[np.ndarray],
+) -> int:
+    """Serve the synthetic stream through the multi-process worker pool."""
+    from repro.serving.pool import PoolConfig
+
+    pool_config = PoolConfig(
+        workers=args.workers,
+        request_timeout_s=args.request_timeout,
+        shared_cache=not args.no_cache,
+        dtype=args.dtype,
+    )
+    if args.port is None:
+        report = workspace.serve_pool(clouds, name=name, config=engine_config, pool_config=pool_config)
+        print(
+            f"served {len(report.results)} requests ({args.dtype}) on "
+            f"{workspace.device.display_name} via '{name}' across {args.workers} workers"
+        )
+        print(report.formatted)
+        return 0
+    return _serve_pool_tcp(args, workspace, name, engine_config, pool_config, clouds)
+
+
+def _serve_pool_tcp(
+    args: argparse.Namespace,
+    workspace: Workspace,
+    name: str,
+    engine_config: EngineConfig,
+    pool_config,
+    clouds: list[np.ndarray],
+) -> int:
+    """Drive the request stream over the pool's JSON-lines TCP frontend."""
+    import asyncio
+    import dataclasses
+
+    from repro.serving.frontend import AsyncServingFrontend, request_over_tcp
+    from repro.serving.pool import WorkerPoolEngine
+
+    if workspace.backend is not None and engine_config.backend is None:
+        engine_config = dataclasses.replace(engine_config, backend=workspace.backend)
+
+    async def drive(pool) -> list[dict]:
+        frontend = AsyncServingFrontend(pool)
+        host, port = await frontend.start(port=args.port)
+        print(f"serving frontend listening on {host}:{port}")
+        requests = [{"model": name, "points": cloud.tolist()} for cloud in clouds]
+        try:
+            return await request_over_tcp(host, port, requests)
+        finally:
+            await frontend.stop()
+
+    with WorkerPoolEngine(workspace.registry, engine_config, pool_config, root=workspace.store.root) as pool:
+        responses = asyncio.run(drive(pool))
+        pool.shutdown()
+        served = sum(1 for response in responses if response.get("ok"))
+        print(
+            f"TCP frontend served {served}/{len(responses)} requests ({args.dtype}) "
+            f"via '{name}' across {args.workers} workers"
+        )
+        print(pool.format_report())
+    return 0 if served == len(responses) else 1
 
 
 # ---------------------------------------------------------------------- #

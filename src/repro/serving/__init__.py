@@ -13,6 +13,13 @@ scenario the paper optimises for.  The subsystem layers:
   driven admission control tying it all together.
 * :mod:`repro.serving.telemetry` — rolling latency percentiles,
   throughput, queue depth and cache hit rates per model.
+* :mod:`repro.serving.diskcache` — disk-backed, cross-process cache tier
+  shared by the workers of a pool.
+* :mod:`repro.serving.pool` — :class:`WorkerPoolEngine`: N worker
+  processes, each hosting a full engine, behind one admission-controlled
+  future-based frontend with crash requeue and fleet telemetry.
+* :mod:`repro.serving.frontend` — asyncio adapter over the pool plus a
+  JSON-lines TCP server (``repro serve --workers N --port P``).
 * :mod:`repro.serving.cli` — the ``repro-serve`` demo entry point.
 
 High-level helpers live in :func:`repro.api.deploy_architecture` and
@@ -21,7 +28,16 @@ High-level helpers live in :func:`repro.api.deploy_architecture` and
 
 from repro.serving.batcher import BatcherConfig, MicroBatcher, QueuedRequest
 from repro.serving.cache import CacheStats, CachingGraphBuilder, LRUCache, cloud_fingerprint
-from repro.serving.engine import AdmissionError, EngineConfig, InferenceEngine, InferenceResult
+from repro.serving.diskcache import SharedArrayCache, deployment_fingerprint
+from repro.serving.engine import (
+    AdmissionError,
+    EngineConfig,
+    InferenceEngine,
+    InferenceResult,
+    validate_points,
+)
+from repro.serving.frontend import AsyncServingFrontend, request_over_tcp
+from repro.serving.pool import DeadlineExceededError, PoolConfig, WorkerCrashError, WorkerPoolEngine
 from repro.serving.registry import DeployedModel, ModelRegistry
 from repro.serving.telemetry import ModelTelemetry, TelemetryStore
 
@@ -33,10 +49,19 @@ __all__ = [
     "CachingGraphBuilder",
     "LRUCache",
     "cloud_fingerprint",
+    "SharedArrayCache",
+    "deployment_fingerprint",
     "AdmissionError",
     "EngineConfig",
     "InferenceEngine",
     "InferenceResult",
+    "validate_points",
+    "AsyncServingFrontend",
+    "request_over_tcp",
+    "DeadlineExceededError",
+    "PoolConfig",
+    "WorkerCrashError",
+    "WorkerPoolEngine",
     "DeployedModel",
     "ModelRegistry",
     "ModelTelemetry",

@@ -140,9 +140,16 @@ class CachingGraphBuilder:
     property behind the engine's bit-identical cached/uncached results.
     """
 
-    def __init__(self, cache: LRUCache | None = None, decimals: int = 6):
+    def __init__(self, cache: LRUCache | None = None, decimals: int = 6, shared=None):
         self.cache = cache
         self.decimals = decimals
+        #: Optional cross-process tier (a
+        #: :class:`repro.serving.diskcache.SharedArrayCache`): edge indices
+        #: built by one pool worker are reused by its siblings.  Edge keys
+        #: depend only on cloud geometry + method + k, never on any
+        #: per-process state, so they are shareable as-is; rebuilt edges are
+        #: deterministic, so the tier cannot change results.
+        self.shared = shared
 
     def _build_local(self, method: str, features: np.ndarray, k: int, key: str) -> np.ndarray:
         if method == "knn":
@@ -165,10 +172,14 @@ class CachingGraphBuilder:
             cloud = features[node_ids]
             key = cloud_fingerprint(cloud, self.decimals, extra=(method, k))
             local = self.cache.get(key) if self.cache is not None else None
+            if local is None and self.shared is not None:
+                local = self.shared.get(key)
             if local is None:
                 local = self._build_local(method, cloud, k, key)
-                if self.cache is not None:
-                    self.cache.put(key, local)
+                if self.shared is not None:
+                    self.shared.put_if_absent(key, local)
+            if self.cache is not None and key not in self.cache:
+                self.cache.put(key, local)
             edges.append(node_ids[local])
         if not edges:
             return np.zeros((2, 0), dtype=np.int64)

@@ -2,8 +2,9 @@
 
 The ``repro-serve`` console script and this module are kept as back-compat
 aliases for the unified :mod:`repro.cli` entry point: :func:`main` prints a
-deprecation notice on stderr and forwards its arguments verbatim to
-``repro serve``.
+deprecation notice on stderr — once per process, not per invocation — and
+forwards its arguments verbatim (including the multi-worker flags
+``--workers``/``--port``) to ``repro serve``.
 """
 
 from __future__ import annotations
@@ -15,6 +16,8 @@ from repro.cli.main import add_serve_arguments
 from repro.cli.main import main as _cli_main
 
 __all__ = ["main", "build_parser"]
+
+_WARNED = False
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -28,7 +31,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    print("repro-serve is deprecated; use 'repro serve' instead.", file=sys.stderr)
+    global _WARNED
+    if not _WARNED:
+        print("repro-serve is deprecated; use 'repro serve' instead.", file=sys.stderr)
+        _WARNED = True
     arguments = sys.argv[1:] if argv is None else list(argv)
     return _cli_main(["serve", *arguments])
 

@@ -29,6 +29,7 @@ internally so callers get a simple blocking API.
 from __future__ import annotations
 
 import contextlib
+import pathlib
 import time
 from dataclasses import dataclass, field
 
@@ -42,10 +43,11 @@ from repro.nn.dtype import get_default_dtype
 from repro.nn.tensor import no_grad
 from repro.serving.batcher import BatcherConfig, MicroBatcher, QueuedRequest
 from repro.serving.cache import CachingGraphBuilder, LRUCache, cloud_fingerprint
+from repro.serving.diskcache import SharedArrayCache, deployment_fingerprint
 from repro.serving.registry import DeployedModel, ModelRegistry
 from repro.serving.telemetry import TelemetryStore
 
-__all__ = ["AdmissionError", "EngineConfig", "InferenceResult", "InferenceEngine"]
+__all__ = ["AdmissionError", "EngineConfig", "InferenceResult", "InferenceEngine", "validate_points"]
 
 
 class AdmissionError(RuntimeError):
@@ -67,12 +69,27 @@ class EngineConfig:
     #: Compute backend batches execute under (a registered name from
     #: :mod:`repro.backends`); ``None`` follows the ambient active backend.
     backend: str | None = None
+    #: Directory of the cross-process result/edge cache tier shared by the
+    #: workers of a :class:`~repro.serving.pool.WorkerPoolEngine`; ``None``
+    #: keeps caching purely in-process.
+    shared_cache_dir: str | None = None
 
     def __post_init__(self) -> None:
+        # Every policy knob is validated at construction so misconfiguration
+        # fails here with a clear message instead of deep inside the batcher
+        # (or inside a worker process, once N engines run behind a pool).
+        if self.max_batch_size <= 0:
+            raise ValueError(f"max_batch_size must be positive, got {self.max_batch_size}")
+        if self.max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
         if self.max_queue_depth <= 0:
             raise ValueError(f"max_queue_depth must be positive, got {self.max_queue_depth}")
         if self.result_cache_capacity < 0 or self.edge_cache_capacity < 0:
             raise ValueError("cache capacities must be >= 0")
+        if self.quantize_decimals < 0:
+            raise ValueError(f"quantize_decimals must be >= 0, got {self.quantize_decimals}")
+        if self.telemetry_window <= 0:
+            raise ValueError(f"telemetry_window must be positive, got {self.telemetry_window}")
         if self.backend is not None:
             get_backend(self.backend)  # fail fast on unknown names
 
@@ -91,12 +108,41 @@ class InferenceResult:
     batch_size: int
     from_cache: bool
     estimated_device_ms: float
+    #: Pool worker that served the request (``None`` for in-process engines).
+    worker: int | None = None
 
 
 def _softmax(logits: np.ndarray) -> np.ndarray:
     shifted = logits - logits.max()
     exp = np.exp(shifted)
     return exp / exp.sum()
+
+
+def validate_points(entry: DeployedModel, points: np.ndarray) -> np.ndarray:
+    """Coerce and validate one request cloud against a deployment.
+
+    Shared by the in-process engine and the pool frontend (which validates
+    before paying the IPC cost of dispatching to a worker).  Serving is an
+    entry point, so requests are coerced to the default compute dtype.
+    """
+    points = np.asarray(points, dtype=get_default_dtype())
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise ValueError(f"a request must be a non-empty (N, D) cloud, got shape {points.shape}")
+    if entry.signature is not None:
+        # O(1) admission check against the statically inferred contract —
+        # catches e.g. a single-point cloud sent to a KNN-sampling model
+        # up front instead of failing deep inside batch execution.
+        problems = entry.signature.validate_request(points.shape[0], points.shape[1])
+        if problems:
+            raise ValueError(f"model '{entry.name}' cannot serve this request: " + "; ".join(problems))
+    elif points.shape[1] != entry.architecture.input_dim:
+        raise ValueError(
+            f"model '{entry.name}' expects {entry.architecture.input_dim}-D point features, "
+            f"got a cloud of shape {points.shape}"
+        )
+    if not np.isfinite(points).all():
+        raise ValueError("a request cloud must not contain NaN or infinite coordinates")
+    return points
 
 
 @dataclass
@@ -126,15 +172,25 @@ class InferenceEngine:
         self.result_cache = LRUCache(self.config.result_cache_capacity)
         self.edge_cache = LRUCache(self.config.edge_cache_capacity)
         self.telemetry = TelemetryStore(self.config.telemetry_window)
+        # Optional cross-process tier: result logits and KNN edge indices
+        # shared with the other workers of a pool through disk.
+        self.shared_cache: SharedArrayCache | None = None
+        shared_edges: SharedArrayCache | None = None
+        if self.config.shared_cache_dir is not None:
+            shared_root = pathlib.Path(self.config.shared_cache_dir)
+            self.shared_cache = SharedArrayCache(shared_root / "results")
+            shared_edges = SharedArrayCache(shared_root / "edges")
         self._graph_builder = CachingGraphBuilder(
             cache=self.edge_cache if self.config.edge_cache_capacity > 0 else None,
             decimals=self.config.quantize_decimals,
+            shared=shared_edges,
         )
         # Deterministic builder even with caching disabled, so cached and
         # uncached engines produce bit-identical logits.
         self._uncached_builder = CachingGraphBuilder(cache=None, decimals=self.config.quantize_decimals)
         self._pending: dict[int, _PendingSlot] = {}
         self._latency_estimates: dict[tuple[str, int], float] = {}
+        self._content_keys: dict[tuple[str, int], str] = {}
         self._next_request_id = 0
 
     def _backend_name(self) -> str:
@@ -145,6 +201,21 @@ class InferenceEngine:
         if self.config.backend is None:
             return contextlib.nullcontext()
         return use_backend(self.config.backend)
+
+    def _content_key(self, entry: DeployedModel) -> str:
+        """Process-independent cache identity of one deployment.
+
+        Hashes genotype + head configuration + weight bytes + backend, so
+        the key is stable across the worker processes of a pool (unlike the
+        per-registry ``generation`` counter) while a redeploy that changes
+        the weights or architecture still invalidates every cached result.
+        Cached per (name, generation) so the weights are hashed once per
+        deployment, not per request.
+        """
+        cache_key = (entry.name, entry.generation)
+        if cache_key not in self._content_keys:
+            self._content_keys[cache_key] = deployment_fingerprint(entry, self._backend_name())
+        return self._content_keys[cache_key]
 
     # ------------------------------------------------------------------ #
     # Admission control
@@ -181,40 +252,24 @@ class InferenceEngine:
     # Submission API
     # ------------------------------------------------------------------ #
     def _validate_points(self, entry: DeployedModel, points: np.ndarray) -> np.ndarray:
-        # Serving is an entry point: requests are coerced to the default
-        # compute dtype (float32 unless the policy says otherwise).
-        points = np.asarray(points, dtype=get_default_dtype())
-        if points.ndim != 2 or points.shape[0] == 0:
-            raise ValueError(f"a request must be a non-empty (N, D) cloud, got shape {points.shape}")
-        if entry.signature is not None:
-            # O(1) admission check against the statically inferred contract —
-            # catches e.g. a single-point cloud sent to a KNN-sampling model
-            # up front instead of failing deep inside batch execution.
-            problems = entry.signature.validate_request(points.shape[0], points.shape[1])
-            if problems:
-                raise ValueError(f"model '{entry.name}' cannot serve this request: " + "; ".join(problems))
-        elif points.shape[1] != entry.architecture.input_dim:
-            raise ValueError(
-                f"model '{entry.name}' expects {entry.architecture.input_dim}-D point features, "
-                f"got a cloud of shape {points.shape}"
-            )
-        if not np.isfinite(points).all():
-            raise ValueError("a request cloud must not contain NaN or infinite coordinates")
-        return points
+        return validate_points(entry, points)
 
     def _enqueue(self, model: str, points: np.ndarray) -> int:
         """Admit one request: serve from the result cache or queue it."""
         entry = self.registry.get(model)
         points = self._validate_points(entry, points)
         estimated = self._admit(entry, points)
-        # The generation distinguishes redeployments of the same name, so a
-        # replace=True re-registration can never serve stale cached logits;
-        # the backend name keeps logits computed by different kernel variants
-        # (bit-different under e.g. blocked summation) from aliasing.
+        # The content key distinguishes redeployments of the same name (its
+        # weight hash changes), so a replace=True re-registration can never
+        # serve stale cached logits; it also folds in the backend name, which
+        # keeps logits computed by different kernel variants (bit-different
+        # under e.g. blocked summation) from aliasing — and, unlike the old
+        # per-process generation counter, it is identical across the worker
+        # processes of a pool, making the key valid in the shared disk tier.
         fingerprint = cloud_fingerprint(
             points,
             self.config.quantize_decimals,
-            extra=(model, entry.generation, self._backend_name()),
+            extra=(model, self._content_key(entry)),
         )
         request_id = self._next_request_id
         self._next_request_id += 1
@@ -229,6 +284,15 @@ class InferenceEngine:
         slot = _PendingSlot(request=request)
         self._pending[request_id] = slot
         cached_logits = self.result_cache.get(fingerprint)
+        if cached_logits is None and self.shared_cache is not None:
+            # Cross-process tier: a cloud computed by any pool worker is an
+            # admission-time hit here.  Consulted only at admission — like
+            # the local tier — so the composition of computed batches never
+            # depends on cache state.
+            shared = self.shared_cache.get(fingerprint)
+            if shared is not None:
+                self.result_cache.put(fingerprint, np.array(shared, copy=True))
+                cached_logits = shared
         if cached_logits is not None:
             logits = np.array(cached_logits, copy=True)
             slot.result = InferenceResult(
@@ -368,6 +432,10 @@ class InferenceEngine:
             # (bitwise-unstable) batch composition.
             if fingerprint not in self.result_cache:
                 self.result_cache.put(fingerprint, np.array(logits[row], copy=True))
+            if self.shared_cache is not None:
+                # First write wins on disk too: put_if_absent keeps the bits
+                # of a key's first cross-process computation.
+                self.shared_cache.put_if_absent(fingerprint, logits[row])
         finished = self.clock()
         wall_ms = (finished - started) * 1e3
         for request in requests:
@@ -396,8 +464,11 @@ class InferenceEngine:
     # Introspection
     # ------------------------------------------------------------------ #
     def cache_stats(self):
-        """Result- and edge-cache counter snapshots."""
-        return {"result": self.result_cache.stats(), "edge": self.edge_cache.stats()}
+        """Result-, edge- and (when configured) shared-cache counter snapshots."""
+        stats = {"result": self.result_cache.stats(), "edge": self.edge_cache.stats()}
+        if self.shared_cache is not None:
+            stats["shared"] = self.shared_cache.stats()
+        return stats
 
     def report(self) -> dict[str, object]:
         """Full telemetry report including cache statistics."""

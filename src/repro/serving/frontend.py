@@ -1,0 +1,181 @@
+"""Asyncio frontend over the worker pool: in-process awaits + TCP serving.
+
+:class:`AsyncServingFrontend` adapts :class:`~repro.serving.pool.WorkerPoolEngine`
+to asyncio:
+
+* :meth:`~AsyncServingFrontend.submit` awaits one request without blocking
+  the event loop — admission (which may raise before any IPC) runs on a
+  thread-pool executor, and the pool's ``concurrent.futures.Future`` is
+  awaited via :func:`asyncio.wrap_future`.
+* :meth:`~AsyncServingFrontend.start`/:meth:`~AsyncServingFrontend.stop`
+  run a newline-delimited-JSON TCP server (``repro serve --workers N
+  --port P``): one request object per line in, one response object per
+  line out, errors reported in-band as ``{"ok": false, ...}`` so a bad
+  request never kills the connection.
+
+The wire format is deliberately minimal — stdlib-only JSON lines — so
+tests and the CLI client need nothing beyond :mod:`asyncio` and
+:mod:`json`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+
+from repro.nn.dtype import get_default_dtype
+from repro.serving.engine import AdmissionError, InferenceResult
+from repro.serving.pool import DeadlineExceededError, WorkerCrashError, WorkerPoolEngine
+from repro.utils.logging import get_logger
+
+__all__ = ["AsyncServingFrontend", "request_over_tcp"]
+
+_LOGGER = get_logger("serving.frontend")
+
+#: Exception types reported to TCP clients by name (anything else is
+#: flattened to ``"InternalError"`` so internals do not leak on the wire).
+_CLIENT_ERRORS = (AdmissionError, DeadlineExceededError, WorkerCrashError, ValueError, KeyError)
+
+
+def _result_message(result: InferenceResult) -> dict:
+    return {
+        "ok": True,
+        "model": result.model,
+        "label": result.label,
+        "logits": [float(value) for value in np.asarray(result.logits).ravel()],
+        "latency_ms": result.latency_ms,
+        "batch_size": result.batch_size,
+        "from_cache": result.from_cache,
+        "worker": result.worker,
+    }
+
+
+def _error_message(error: BaseException) -> dict:
+    if isinstance(error, _CLIENT_ERRORS):
+        name = type(error).__name__
+        message = str(error)
+    else:  # pragma: no cover - defensive
+        name = "InternalError"
+        message = "internal server error"
+        _LOGGER.exception("unexpected serving error")
+    return {"ok": False, "error": name, "message": message}
+
+
+class AsyncServingFrontend:
+    """Awaitable request API and a JSON-lines TCP server over one pool."""
+
+    def __init__(self, pool: WorkerPoolEngine):
+        self.pool = pool
+        self._server: asyncio.AbstractServer | None = None
+        self.requests_served = 0
+        self.requests_failed = 0
+
+    # ------------------------------------------------------------------ #
+    # In-process async API
+    # ------------------------------------------------------------------ #
+    async def submit(self, model: str, points: np.ndarray) -> InferenceResult:
+        """Await one request through the pool without blocking the loop.
+
+        ``pool.submit`` validates and admission-checks synchronously (it
+        can reject before any IPC), so it runs on the default executor;
+        the returned worker future is then awaited natively.
+        """
+        loop = asyncio.get_running_loop()
+        future = await loop.run_in_executor(None, self.pool.submit, model, points)
+        return await asyncio.wrap_future(future)
+
+    # ------------------------------------------------------------------ #
+    # TCP server (newline-delimited JSON)
+    # ------------------------------------------------------------------ #
+    async def _handle_line(self, line: bytes) -> dict:
+        try:
+            request = json.loads(line)
+            model = request["model"]
+            points = np.asarray(request["points"], dtype=get_default_dtype())
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+            return {"ok": False, "error": "BadRequest", "message": f"malformed request: {error}"}
+        try:
+            result = await self.submit(model, points)
+        except Exception as error:  # noqa: BLE001 - reported in-band to the client
+            return _error_message(error)
+        return _result_message(result)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._handle_line(line)
+                if response["ok"]:
+                    self.requests_served += 1
+                else:
+                    self.requests_failed += 1
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover - client went away
+            pass
+        finally:
+            # Close without awaiting: the handler task is cancelled when the
+            # server stops, and awaiting wait_closed() here would surface
+            # that cancellation as a spurious error callback.
+            writer.close()
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Start the TCP server; returns the bound ``(host, port)``.
+
+        Pass ``port=0`` to bind an ephemeral port (tests, CI smoke runs).
+        """
+        if self._server is not None:
+            raise RuntimeError("frontend server already started")
+        self._server = await asyncio.start_server(self._handle_connection, host=host, port=port)
+        bound = self._server.sockets[0].getsockname()
+        _LOGGER.info("serving frontend listening on %s:%d", bound[0], bound[1])
+        return bound[0], bound[1]
+
+    async def stop(self) -> None:
+        """Stop accepting connections (the pool itself is left running)."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    async def serve_until(self, stop_event: asyncio.Event, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Run the TCP server until ``stop_event`` is set (CLI entry point)."""
+        await self.start(host=host, port=port)
+        try:
+            await stop_event.wait()
+        finally:
+            await self.stop()
+
+
+async def request_over_tcp(host: str, port: int, requests: list[dict]) -> list[dict]:
+    """Send request objects over one connection; returns the response objects.
+
+    The stdlib-only client used by the CLI's ``--port`` smoke mode, the
+    benchmark's load generator and the tests.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    responses: list[dict] = []
+    try:
+        for request in requests:
+            writer.write(json.dumps(request).encode() + b"\n")
+            await writer.drain()
+            line = await reader.readline()
+            if not line:
+                raise ConnectionError("server closed the connection mid-stream")
+            responses.append(json.loads(line))
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+    return responses

@@ -1,0 +1,711 @@
+"""Multi-process serving: a pool of worker engines behind one frontend.
+
+One synchronous :class:`~repro.serving.engine.InferenceEngine` caps
+aggregate throughput at a single core.  :class:`WorkerPoolEngine` spawns N
+worker processes, each hosting a full engine over the same deployments
+(the registry is snapshotted to disk and every worker loads it), and
+serves requests through a future-based frontend:
+
+1. **Admission control runs in the frontend** — SLO and queue-depth
+   rejection happens *before* any IPC, so a request the cost model would
+   refuse never pays serialization or a queue round trip.  Worker engines
+   run with admission disabled; a rejection is therefore counted exactly
+   once, in the frontend's telemetry.
+2. **Dispatch** is least-loaded: each admitted request goes to the live
+   worker with the fewest in-flight requests, onto that worker's own task
+   queue, where the worker micro-batches whatever has accumulated.
+3. **Results** come back over a shared result queue and resolve
+   :class:`concurrent.futures.Future` objects, so callers can block
+   (:meth:`WorkerPoolEngine.request`), fan out
+   (:meth:`~WorkerPoolEngine.submit_many`), or await them from asyncio
+   (:mod:`repro.serving.frontend`).
+4. **Deadlines**: every request carries ``enqueue + request_timeout_s``;
+   a worker drops expired requests without executing them and the
+   frontend fails the future with :class:`DeadlineExceededError`.
+5. **Crash handling**: a worker process that dies is detected by the
+   collector loop; its in-flight requests are requeued once onto a
+   surviving worker, then failed with :class:`WorkerCrashError`.
+6. **Shared cache tier**: workers share a disk-backed result/edge cache
+   (:mod:`repro.serving.diskcache`) under the pool root, so a cloud
+   served by worker 0 is a cache hit on worker 3.
+7. **Telemetry**: each worker ships its
+   :meth:`~repro.serving.telemetry.TelemetryStore.snapshot` (plus cache
+   stats and its obs metrics snapshot) on shutdown; the frontend merges
+   them into one fleet-wide view with per-worker breakdowns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import queue as queue_module
+import shutil
+import tempfile
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.latency import estimate_latency
+from repro.nn.dtype import get_default_dtype
+from repro.obs.metrics import get_metrics, merge_snapshots
+from repro.serving.cache import CacheStats
+from repro.serving.engine import AdmissionError, EngineConfig, InferenceResult, validate_points
+from repro.serving.registry import DeployedModel, ModelRegistry
+from repro.serving.telemetry import TelemetryStore
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "DeadlineExceededError",
+    "WorkerCrashError",
+    "PoolConfig",
+    "WorkerPoolEngine",
+]
+
+_LOGGER = get_logger("serving.pool")
+
+
+class DeadlineExceededError(RuntimeError):
+    """Raised when a request's deadline expired before it finished."""
+
+
+class WorkerCrashError(RuntimeError):
+    """Raised when the worker serving a request died and retries ran out."""
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Worker-pool policy knobs."""
+
+    #: Number of worker processes (each hosts a full engine).
+    workers: int = 2
+    #: Per-request deadline, from admission to result delivery.
+    request_timeout_s: float = 30.0
+    #: Frontend queue-depth cap: in-flight requests beyond this are rejected
+    #: at admission, before any IPC.
+    max_queue_depth: int = 1024
+    #: Enable the cross-process disk cache tier under the pool root.
+    shared_cache: bool = True
+    #: How many times a crashed worker's in-flight request is requeued onto
+    #: a surviving worker before its future fails.
+    max_retries: int = 1
+    #: ``multiprocessing`` start method; ``None`` picks ``fork`` where
+    #: available (fast startup) and falls back to ``spawn``.
+    start_method: str | None = None
+    #: Collector poll interval (also bounds crash-detection latency).
+    poll_interval_s: float = 0.05
+    #: Compute dtype workers serve under; ``None`` captures the ambient
+    #: default dtype at pool construction.
+    dtype: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.request_timeout_s <= 0:
+            raise ValueError(f"request_timeout_s must be positive, got {self.request_timeout_s}")
+        if self.max_queue_depth <= 0:
+            raise ValueError(f"max_queue_depth must be positive, got {self.max_queue_depth}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.poll_interval_s <= 0:
+            raise ValueError(f"poll_interval_s must be positive, got {self.poll_interval_s}")
+        if self.start_method not in (None, "fork", "spawn", "forkserver"):
+            raise ValueError(f"unknown start_method '{self.start_method}'")
+
+
+# ---------------------------------------------------------------------- #
+# Worker process
+# ---------------------------------------------------------------------- #
+def _drain_batch(task_queue, first, max_batch_size: int) -> tuple[list, list]:
+    """Gather up to ``max_batch_size`` request messages; control messages pass through."""
+    requests, control = [first], []
+    while len(requests) < max_batch_size:
+        try:
+            message = task_queue.get_nowait()
+        except queue_module.Empty:
+            break
+        if message[0] == "req":
+            requests.append(message)
+        else:
+            control.append(message)
+            break
+    return requests, control
+
+
+def _result_payload(result: InferenceResult) -> dict:
+    return {
+        "model": result.model,
+        "label": result.label,
+        "logits": result.logits,
+        "probabilities": result.probabilities,
+        "latency_ms": result.latency_ms,
+        "queue_ms": result.queue_ms,
+        "batch_size": result.batch_size,
+        "from_cache": result.from_cache,
+        "estimated_device_ms": result.estimated_device_ms,
+    }
+
+
+def _serve_messages(engine, worker_id: int, messages: list, result_queue) -> None:
+    """Serve one micro-batch of ``("req", ...)`` messages through the engine."""
+    live: list[tuple] = []
+    now = time.time()
+    for message in messages:
+        _, request_id, _, _, deadline = message
+        if deadline is not None and now > deadline:
+            result_queue.put(("err", request_id, worker_id, "DeadlineExceeded", "deadline expired in queue"))
+        else:
+            live.append(message)
+    # Group consecutively by model so one engine.submit_many call serves a
+    # whole micro-batch (order inside a group is preserved).
+    index = 0
+    while index < len(live):
+        model = live[index][2]
+        group = [live[index]]
+        index += 1
+        while index < len(live) and live[index][2] == model:
+            group.append(live[index])
+            index += 1
+        try:
+            results = engine.submit_many(model, [message[3] for message in group])
+        except Exception:
+            # Isolate the poisoned request: replay the group one by one so
+            # healthy requests of the same batch still get served.
+            for message in group:
+                try:
+                    result = engine.submit(model, message[3])
+                except Exception as error:  # noqa: BLE001 - forwarded to the frontend
+                    result_queue.put(
+                        ("err", message[1], worker_id, type(error).__name__, str(error))
+                    )
+                else:
+                    get_metrics().count("serving.worker.served")
+                    result_queue.put(("ok", message[1], worker_id, _result_payload(result)))
+            continue
+        get_metrics().count("serving.worker.served", len(group))
+        for message, result in zip(group, results):
+            result_queue.put(("ok", message[1], worker_id, _result_payload(result)))
+
+
+def _worker_main(
+    worker_id: int,
+    registry_dir: str,
+    engine_config: EngineConfig,
+    dtype: str,
+    task_queue,
+    result_queue,
+) -> None:
+    """Entry point of one worker process: engine loop over the task queue."""
+    try:
+        from repro.nn.dtype import set_default_dtype
+        from repro.obs import reset_observability
+        from repro.serving.engine import InferenceEngine
+
+        # A forked worker inherits the parent's observability state; a
+        # spawned one starts clean either way.  Reset so this worker's
+        # snapshot covers exactly its own work.
+        reset_observability()
+        set_default_dtype(dtype)
+        registry = ModelRegistry.load(registry_dir)
+        engine = InferenceEngine(registry, engine_config)
+    except Exception as error:  # noqa: BLE001 - startup failure, reported then fatal
+        result_queue.put(("fatal", worker_id, f"{type(error).__name__}: {error}"))
+        return
+    while True:
+        message = task_queue.get()
+        if message[0] == "req":
+            requests, control = _drain_batch(task_queue, message, engine_config.max_batch_size)
+            _serve_messages(engine, worker_id, requests, result_queue)
+            for extra in control:
+                if _handle_control(engine, worker_id, extra, result_queue):
+                    return
+        elif _handle_control(engine, worker_id, message, result_queue):
+            return
+
+
+def _handle_control(engine, worker_id: int, message, result_queue) -> bool:
+    """Process a non-request message; returns True when the worker should exit."""
+    if message[0] == "stop":
+        cache_stats = {name: dataclasses.asdict(stats) for name, stats in engine.cache_stats().items()}
+        if engine.shared_cache is not None:
+            cache_stats["shared"]["writes"] = engine.shared_cache.writes
+        result_queue.put(
+            (
+                "bye",
+                worker_id,
+                {
+                    "telemetry": engine.telemetry.snapshot(),
+                    "caches": cache_stats,
+                    "metrics": get_metrics().snapshot(),
+                },
+            )
+        )
+        return True
+    if message[0] == "crash":  # test hook: simulate a hard worker death
+        import os
+
+        os._exit(13)
+    return False
+
+
+# ---------------------------------------------------------------------- #
+# Frontend
+# ---------------------------------------------------------------------- #
+@dataclass
+class _InFlight:
+    """Frontend bookkeeping for one dispatched request."""
+
+    future: Future
+    model: str
+    points: np.ndarray
+    worker_id: int
+    deadline: float
+    retries: int = 0
+
+
+class _Worker:
+    """Frontend handle of one worker process."""
+
+    def __init__(self, worker_id: int, process, task_queue):
+        self.worker_id = worker_id
+        self.process = process
+        self.task_queue = task_queue
+        self.inflight = 0
+        self.alive = True
+        self.finished = False  # sent its shutdown snapshot
+
+    def is_running(self) -> bool:
+        return self.alive and self.process.is_alive()
+
+
+_ERROR_TYPES: dict[str, type[Exception]] = {
+    "DeadlineExceeded": DeadlineExceededError,
+    "ValueError": ValueError,
+    "KeyError": KeyError,
+    "AdmissionError": AdmissionError,
+}
+
+
+class WorkerPoolEngine:
+    """N worker processes behind one admission-controlled frontend.
+
+    Args:
+        registry: Deployments to serve.  Snapshotted to disk at
+            construction (:meth:`ModelRegistry.save`); every worker loads
+            the snapshot, so all workers replicate the same models with
+            bit-identical weights.
+        config: Per-worker engine policy.  The frontend owns admission
+            control, so workers run with it disabled; when the pool's
+            shared cache is enabled, ``shared_cache_dir`` is pointed at
+            the pool root unless the config already names one.
+        pool_config: Pool-level policy (worker count, deadlines, crash
+            retries, queue depth).
+        root: Directory for the registry snapshot and the shared cache
+            tier — pass the workspace root so cached results survive the
+            pool.  ``None`` uses a temporary directory removed at
+            shutdown.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        config: EngineConfig | None = None,
+        pool_config: PoolConfig | None = None,
+        root: str | pathlib.Path | None = None,
+    ):
+        import multiprocessing
+
+        self.pool_config = pool_config or PoolConfig()
+        self.registry = registry
+        self._owns_root = root is None
+        self.root = pathlib.Path(tempfile.mkdtemp(prefix="repro-pool-")) if root is None else pathlib.Path(root)
+        config = config or EngineConfig()
+        if self.pool_config.shared_cache and config.shared_cache_dir is None:
+            config = dataclasses.replace(config, shared_cache_dir=str(self.root / "serving_cache"))
+        self.config = config
+        dtype = self.pool_config.dtype or str(np.dtype(get_default_dtype()))
+        # Frontend-side telemetry: rejections (admission lives here) and
+        # per-model request counts merged with worker snapshots at shutdown.
+        self.telemetry = TelemetryStore(config.telemetry_window)
+        self.worker_snapshots: dict[int, dict] = {}
+        self.fleet_metrics: dict[str, dict] = {}
+        self.requeued = 0
+        self.worker_crashes = 0
+        self.submitted = 0
+        self._latency_estimates: dict[tuple[str, int], float] = {}
+        self._lock = threading.Lock()
+        self._inflight: dict[int, _InFlight] = {}
+        self._next_request_id = 0
+        self._shutdown = False
+        self._all_done = threading.Event()
+
+        registry_dir = self.root / "pool_registry"
+        registry.save(registry_dir)
+        method = self.pool_config.start_method
+        if method is None:
+            method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        context = multiprocessing.get_context(method)
+        self._result_queue = context.Queue()
+        worker_config = dataclasses.replace(config, admission_control=False)
+        self._workers: list[_Worker] = []
+        for worker_id in range(self.pool_config.workers):
+            task_queue = context.Queue()
+            process = context.Process(
+                target=_worker_main,
+                args=(worker_id, str(registry_dir), worker_config, dtype, task_queue, self._result_queue),
+                daemon=True,
+            )
+            process.start()
+            self._workers.append(_Worker(worker_id, process, task_queue))
+        self._collector = threading.Thread(target=self._collect_loop, name="pool-collector", daemon=True)
+        self._collector.start()
+
+    # ------------------------------------------------------------------ #
+    # Context manager
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "WorkerPoolEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------ #
+    # Admission control (frontend side, before IPC)
+    # ------------------------------------------------------------------ #
+    def estimate_request_ms(self, entry: DeployedModel, num_points: int) -> float:
+        """Cost-model latency of one request on the entry's target device."""
+        key = (entry.name, num_points)
+        if key not in self._latency_estimates:
+            workload = entry.architecture.to_workload(
+                num_points=num_points, k=entry.k, num_classes=entry.num_classes
+            )
+            self._latency_estimates[key] = estimate_latency(workload, entry.device).total_ms
+        return self._latency_estimates[key]
+
+    def _admit(self, entry: DeployedModel, points: np.ndarray) -> float:
+        estimated = self.estimate_request_ms(entry, points.shape[0])
+        if not self.config.admission_control:
+            return estimated
+        if entry.slo_ms is not None and estimated > entry.slo_ms:
+            self.telemetry.model(entry.name).record_rejection()
+            get_metrics().count("serving.pool.rejected")
+            raise AdmissionError(
+                f"request rejected: estimated {estimated:.2f} ms on {entry.device.name} "
+                f"exceeds the {entry.slo_ms:.2f} ms SLO of model '{entry.name}'"
+            )
+        if len(self._inflight) >= self.pool_config.max_queue_depth:
+            self.telemetry.model(entry.name).record_rejection()
+            get_metrics().count("serving.pool.rejected")
+            raise AdmissionError(
+                f"request rejected: {len(self._inflight)} requests in flight at capacity "
+                f"({self.pool_config.max_queue_depth})"
+            )
+        return estimated
+
+    # ------------------------------------------------------------------ #
+    # Submission API
+    # ------------------------------------------------------------------ #
+    def submit(self, model: str, points: np.ndarray) -> Future:
+        """Admit and dispatch one request; returns a future of its result.
+
+        Raises:
+            AdmissionError: When the request would blow the model's SLO
+                budget or the frontend queue is at capacity (raised here,
+                before any IPC).
+            ValueError: When the cloud fails validation for this model.
+            RuntimeError: When the pool has been shut down or every worker
+                has crashed.
+        """
+        if self._shutdown:
+            raise RuntimeError("pool has been shut down")
+        entry = self.registry.get(model)
+        points = validate_points(entry, points)
+        self._admit(entry, points)
+        deadline = time.time() + self.pool_config.request_timeout_s
+        future: Future = Future()
+        with self._lock:
+            worker = self._pick_worker()
+            request_id = self._next_request_id
+            self._next_request_id += 1
+            self._inflight[request_id] = _InFlight(
+                future=future, model=model, points=points, worker_id=worker.worker_id, deadline=deadline
+            )
+            worker.inflight += 1
+            self.submitted += 1
+        self.telemetry.observe_queue_depth(len(self._inflight))
+        get_metrics().count("serving.pool.dispatched")
+        worker.task_queue.put(("req", request_id, model, points, deadline))
+        return future
+
+    def _pick_worker(self) -> _Worker:
+        """Least-loaded live worker (callers hold the lock)."""
+        candidates = [worker for worker in self._workers if worker.is_running()]
+        if not candidates:
+            raise RuntimeError("no live workers in the pool (all crashed or stopped)")
+        return min(candidates, key=lambda worker: worker.inflight)
+
+    def request(self, model: str, points: np.ndarray, timeout: float | None = None) -> InferenceResult:
+        """Serve one cloud synchronously through the pool."""
+        return self.submit(model, points).result(
+            timeout=timeout if timeout is not None else self.pool_config.request_timeout_s + 5.0
+        )
+
+    def submit_many(self, model: str, clouds, return_exceptions: bool = False) -> list:
+        """Serve a stream of clouds concurrently across the pool.
+
+        Every cloud is admitted and dispatched before any result is
+        awaited, so the workers run in parallel.  With
+        ``return_exceptions``, per-request failures (admission, deadline,
+        crash) come back in-place instead of raising; otherwise the first
+        failure raises after all dispatched requests completed (unlike the
+        in-process engine, already-dispatched work is not cancelled — the
+        results are simply discarded).
+        """
+        outcomes: list = []
+        futures: list[Future] = []
+        for cloud in clouds:
+            try:
+                futures.append(self.submit(model, cloud))
+                outcomes.append(None)
+            except Exception as error:  # noqa: BLE001 - collected per request
+                futures.append(None)  # type: ignore[arg-type]
+                outcomes.append(error)
+        timeout = self.pool_config.request_timeout_s + 5.0
+        for index, future in enumerate(futures):
+            if future is None:
+                continue
+            try:
+                outcomes[index] = future.result(timeout=timeout)
+            except Exception as error:  # noqa: BLE001 - collected per request
+                outcomes[index] = error
+        if not return_exceptions:
+            for outcome in outcomes:
+                if isinstance(outcome, BaseException):
+                    raise outcome
+        return outcomes
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until no request is in flight; returns whether it emptied."""
+        limit = time.monotonic() + (timeout if timeout is not None else self.pool_config.request_timeout_s)
+        while time.monotonic() < limit:
+            with self._lock:
+                if not self._inflight:
+                    return True
+            time.sleep(self.pool_config.poll_interval_s)
+        with self._lock:
+            return not self._inflight
+
+    # ------------------------------------------------------------------ #
+    # Result collection / crash handling
+    # ------------------------------------------------------------------ #
+    def _collect_loop(self) -> None:
+        while True:
+            try:
+                message = self._result_queue.get(timeout=self.pool_config.poll_interval_s)
+            except queue_module.Empty:
+                self._check_workers()
+                if self._finished():
+                    self._all_done.set()
+                    if self._shutdown:
+                        return
+                continue
+            kind = message[0]
+            if kind == "ok":
+                self._resolve(message[1], message[2], message[3])
+            elif kind == "err":
+                self._fail(message[1], message[2], message[3], message[4])
+            elif kind == "bye":
+                self._on_bye(message[1], message[2])
+            elif kind == "fatal":
+                self._on_fatal(message[1], message[2])
+
+    def _finished(self) -> bool:
+        return self._shutdown and all(worker.finished or not worker.is_running() for worker in self._workers)
+
+    def _take(self, request_id: int) -> _InFlight | None:
+        with self._lock:
+            slot = self._inflight.pop(request_id, None)
+            if slot is not None:
+                for worker in self._workers:
+                    if worker.worker_id == slot.worker_id:
+                        worker.inflight -= 1
+        return slot
+
+    def _resolve(self, request_id: int, worker_id: int, payload: dict) -> None:
+        slot = self._take(request_id)
+        if slot is None or slot.future.done():
+            return  # duplicate delivery after a requeue race
+        # Request telemetry is recorded by the worker engine that served it
+        # (shipped in its shutdown snapshot); the frontend only contributes
+        # rejections and queue depth, so merged fleet totals equal the sum
+        # of per-worker totals with nothing counted twice.
+        slot.future.set_result(InferenceResult(request_id=request_id, worker=worker_id, **payload))
+
+    def _fail(self, request_id: int, worker_id: int, error_type: str, message: str) -> None:
+        slot = self._take(request_id)
+        if slot is None or slot.future.done():
+            return
+        if error_type == "DeadlineExceeded":
+            get_metrics().count("serving.pool.deadline_expired")
+        exception = _ERROR_TYPES.get(error_type, RuntimeError)(f"worker {worker_id}: {message}")
+        slot.future.set_exception(exception)
+
+    def _on_bye(self, worker_id: int, snapshot: dict) -> None:
+        self.worker_snapshots[worker_id] = snapshot
+        for worker in self._workers:
+            if worker.worker_id == worker_id:
+                worker.finished = True
+                worker.alive = False
+
+    def _on_fatal(self, worker_id: int, message: str) -> None:
+        _LOGGER.error("pool worker %d failed to start: %s", worker_id, message)
+        for worker in self._workers:
+            if worker.worker_id == worker_id:
+                worker.alive = False
+        self._reassign(worker_id, reason=f"worker {worker_id} failed to start: {message}")
+
+    def _check_workers(self) -> None:
+        for worker in self._workers:
+            if worker.alive and not worker.finished and not worker.process.is_alive():
+                worker.alive = False
+                self.worker_crashes += 1
+                get_metrics().count("serving.pool.worker_crashes")
+                _LOGGER.warning("pool worker %d died (exit code %s)", worker.worker_id, worker.process.exitcode)
+                self._reassign(worker.worker_id, reason=f"worker {worker.worker_id} crashed")
+
+    def _reassign(self, dead_worker_id: int, reason: str) -> None:
+        """Requeue (once) or fail every in-flight request of a dead worker."""
+        with self._lock:
+            orphans = [
+                (request_id, slot)
+                for request_id, slot in self._inflight.items()
+                if slot.worker_id == dead_worker_id
+            ]
+        for request_id, slot in orphans:
+            retry_target: _Worker | None = None
+            if slot.retries < self.pool_config.max_retries and time.time() < slot.deadline:
+                with self._lock:
+                    try:
+                        retry_target = self._pick_worker()
+                    except RuntimeError:
+                        retry_target = None
+                    if retry_target is not None:
+                        slot.retries += 1
+                        slot.worker_id = retry_target.worker_id
+                        retry_target.inflight += 1
+            if retry_target is not None:
+                self.requeued += 1
+                get_metrics().count("serving.pool.requeued")
+                retry_target.task_queue.put(("req", request_id, slot.model, slot.points, slot.deadline))
+            else:
+                taken = self._take(request_id)
+                if taken is not None and not taken.future.done():
+                    taken.future.set_exception(WorkerCrashError(reason))
+
+    # ------------------------------------------------------------------ #
+    # Shutdown / telemetry aggregation
+    # ------------------------------------------------------------------ #
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Stop the pool: drain, collect worker snapshots, merge telemetry.
+
+        Idempotent.  Each worker finishes its queued requests, ships its
+        telemetry/cache/metrics snapshot and exits; the frontend merges the
+        metrics snapshots into the process-global registry (so ``--trace``
+        and ``repro report`` see fleet-wide totals) and keeps the raw
+        per-worker snapshots for :meth:`report`.
+        """
+        if self._shutdown:
+            return
+        self.drain(timeout=timeout)
+        self._shutdown = True
+        for worker in self._workers:
+            if worker.is_running():
+                worker.task_queue.put(("stop",))
+        self._all_done.wait(timeout=timeout)
+        self._collector.join(timeout=timeout)
+        for worker in self._workers:
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():  # pragma: no cover - defensive
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+        # Fail anything still unresolved (e.g. every worker crashed at once).
+        with self._lock:
+            leftovers = list(self._inflight.items())
+            self._inflight.clear()
+        for _, slot in leftovers:
+            if not slot.future.done():
+                slot.future.set_exception(WorkerCrashError("pool shut down before the request completed"))
+        metric_snapshots = [
+            snapshot["metrics"] for snapshot in self.worker_snapshots.values() if snapshot.get("metrics")
+        ]
+        if metric_snapshots:
+            self.fleet_metrics = merge_snapshots(*metric_snapshots)
+            registry = get_metrics()
+            if registry.enabled:
+                registry.merge(self.fleet_metrics)
+        if self._owns_root:
+            shutil.rmtree(self.root, ignore_errors=True)
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def fleet_telemetry(self) -> TelemetryStore:
+        """Frontend telemetry with every collected worker snapshot merged in."""
+        fleet = TelemetryStore(self.config.telemetry_window)
+        fleet.merge(self.telemetry.snapshot())
+        for snapshot in self.worker_snapshots.values():
+            fleet.merge(snapshot["telemetry"])
+        return fleet
+
+    def fleet_cache_stats(self) -> dict[str, CacheStats]:
+        """Per-cache counters summed across collected worker snapshots."""
+        totals: dict[str, dict[str, int]] = {}
+        for snapshot in self.worker_snapshots.values():
+            for name, stats in snapshot.get("caches", {}).items():
+                bucket = totals.setdefault(name, {"hits": 0, "misses": 0, "evictions": 0, "size": 0, "capacity": 0})
+                for field in bucket:
+                    bucket[field] += int(stats.get(field, 0))
+        if "shared" in totals:
+            # One shared directory, reported by every worker: size/capacity
+            # are a shared view, not additive.
+            workers = max(1, len(self.worker_snapshots))
+            totals["shared"]["size"] //= workers
+            totals["shared"]["capacity"] //= workers
+        return {name: CacheStats(**bucket) for name, bucket in totals.items()}
+
+    def report(self) -> dict[str, object]:
+        """Fleet-wide telemetry report with per-worker breakdowns."""
+        fleet = self.fleet_telemetry()
+        per_worker = {}
+        for worker_id, snapshot in sorted(self.worker_snapshots.items()):
+            worker_store = TelemetryStore(self.config.telemetry_window).merge(snapshot["telemetry"])
+            per_worker[worker_id] = worker_store.report()
+        return {
+            "fleet": fleet.report(self.fleet_cache_stats() or None),
+            "workers": per_worker,
+            "frontend": {
+                "submitted": self.submitted,
+                "requeued": self.requeued,
+                "worker_crashes": self.worker_crashes,
+                "pool_workers": self.pool_config.workers,
+            },
+        }
+
+    def format_report(self) -> str:
+        """Human-readable fleet report (fleet aggregate + per-worker lines)."""
+        report = self.report()
+        fleet = self.fleet_telemetry()
+        lines = ["== fleet telemetry (all workers) =="]
+        lines.append(fleet.format_report(self.fleet_cache_stats() or None))
+        frontend = report["frontend"]
+        lines.append(
+            f"frontend: submitted={frontend['submitted']} requeued={frontend['requeued']} "
+            f"worker_crashes={frontend['worker_crashes']} workers={frontend['pool_workers']}"
+        )
+        for worker_id, worker_report in report["workers"].items():
+            served = sum(stats["served"] for stats in worker_report["models"].values())
+            batches = sum(stats["batches"] for stats in worker_report["models"].values())
+            lines.append(f"worker {worker_id}: served={served} batches={batches}")
+        return "\n".join(lines)

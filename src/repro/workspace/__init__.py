@@ -7,7 +7,7 @@
   derived models across runs.
 * :mod:`repro.workspace.pipeline` — :class:`Workspace` with the stage
   methods ``profile`` / ``measure_latency`` / ``train_predictor`` /
-  ``search`` / ``derive`` / ``deploy`` / ``serve``.
+  ``search`` / ``derive`` / ``deploy`` / ``serve`` / ``serve_pool``.
 
 The one-shot helpers of :mod:`repro.api` and the ``repro`` CLI are both
 built on top of this package.
@@ -31,6 +31,7 @@ from repro.workspace.store import (
 
 _LAZY_EXPORTS = {
     "PredictorBundle": "repro.workspace.pipeline",
+    "PoolServeReport": "repro.workspace.pipeline",
     "ServeReport": "repro.workspace.pipeline",
     "Workspace": "repro.workspace.pipeline",
 }
@@ -39,6 +40,7 @@ __all__ = [
     "DEFAULTS",
     "InferenceDefaults",
     "PredictorBundle",
+    "PoolServeReport",
     "ServeReport",
     "Workspace",
     "Artifact",

@@ -44,12 +44,13 @@ from repro.predictor.metrics import PredictorMetrics
 from repro.predictor.model import LatencyPredictor, PredictorConfig
 from repro.predictor.train import PredictorTrainingConfig, evaluate_predictor, train_predictor
 from repro.serving.engine import EngineConfig, InferenceEngine, InferenceResult
+from repro.serving.pool import PoolConfig, WorkerPoolEngine
 from repro.serving.registry import DeployedModel, ModelRegistry
 from repro.utils.logging import get_logger
 from repro.workspace.config import DEFAULTS, InferenceDefaults
 from repro.workspace.store import ArtifactStore, array_fingerprint, dataset_fingerprint
 
-__all__ = ["PredictorBundle", "ServeReport", "Workspace"]
+__all__ = ["PredictorBundle", "PoolServeReport", "ServeReport", "Workspace"]
 
 _LOGGER = get_logger("workspace")
 
@@ -70,6 +71,21 @@ class ServeReport:
     results: list[InferenceResult]
     telemetry: dict
     engine: InferenceEngine
+
+
+@dataclass
+class PoolServeReport:
+    """Results of a request stream served through a multi-process worker pool.
+
+    ``telemetry`` is the fleet-wide report (frontend + every worker's
+    shutdown snapshot merged); ``formatted`` its human-readable rendering,
+    captured before the pool shut down.
+    """
+
+    results: list[InferenceResult]
+    telemetry: dict
+    formatted: str
+    workers: int
 
 
 def _search_result_to_meta(result: SearchResult) -> dict[str, object]:
@@ -599,3 +615,48 @@ class Workspace:
             engine = self.engine(config)
             results = engine.submit_many(name, clouds)
             return ServeReport(results=results, telemetry=engine.report(), engine=engine)
+
+    def serve_pool(
+        self,
+        clouds: Iterable[np.ndarray] | Sequence[np.ndarray],
+        name: str | None = None,
+        config: EngineConfig | None = None,
+        pool_config: PoolConfig | None = None,
+    ) -> PoolServeReport:
+        """Serve a stream through a multi-process worker pool.
+
+        Spawns ``pool_config.workers`` processes, each hosting a full
+        engine over this workspace's registry, serves the stream across
+        them, then drains and shuts the pool down.  A rooted workspace
+        hosts the shared cross-process cache tier under
+        ``<root>/serving_cache``, so cached results survive the pool and
+        warm the next one.
+        """
+        if name is None:
+            names = self.registry.list()
+            if not names:
+                raise ValueError("no deployed models in this workspace; call deploy() first")
+            name = self._last_deployed if self._last_deployed in names else names[-1]
+        clouds = list(clouds)
+        pool_config = pool_config or PoolConfig()
+        if self.backend is not None and (config is None or config.backend is None):
+            config = dataclasses.replace(config or EngineConfig(), backend=self.backend)
+        with trace_span(
+            "workspace.serve_pool",
+            device=self.device.name,
+            model=name,
+            requests=len(clouds),
+            workers=pool_config.workers,
+            backend=self._backend_name(),
+        ):
+            with WorkerPoolEngine(
+                self.registry, config, pool_config, root=self.store.root
+            ) as pool:
+                results = pool.submit_many(name, clouds)
+                pool.shutdown()
+                return PoolServeReport(
+                    results=results,
+                    telemetry=pool.report(),
+                    formatted=pool.format_report(),
+                    workers=pool_config.workers,
+                )

@@ -21,6 +21,7 @@ import hashlib
 import json
 import os
 import pathlib
+import uuid
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -122,12 +123,23 @@ class ArtifactStore:
         if self.root is not None:
             directory = self._entry_dir(stage, key)
             meta_path = directory / "meta.json"
-            if meta_path.exists():
+            try:
                 document = load_json(meta_path)
                 if document.get("format") != _FORMAT:
                     raise ValueError(f"unrecognised artifact format in {meta_path}")
                 arrays_path = directory / "arrays.npz"
-                arrays = load_npz(arrays_path) if arrays_path.exists() else {}
+                # The meta document records whether the entry has arrays, so
+                # a marker that promises arrays whose file is gone reads as a
+                # FileNotFoundError (a racing discard) — never as an artifact
+                # with silently-empty arrays.
+                has_arrays = document.get("arrays", arrays_path.exists())
+                arrays = load_npz(arrays_path) if has_arrays else {}
+            except FileNotFoundError:
+                # Covers both a key that was never written and a racing
+                # discard() between the meta read and the arrays read:
+                # either way the entry is simply absent right now.
+                pass
+            else:
                 artifact = Artifact(stage=stage, key=key, meta=document["meta"], arrays=arrays, path=directory)
                 self._memory[(stage, key)] = artifact
                 self.hits += 1
@@ -150,21 +162,40 @@ class ArtifactStore:
         path = None
         if self.root is not None:
             directory = self._entry_dir(stage, key)
-            # Arrays first, then meta.json committed atomically (temp file +
-            # rename): load() only trusts entries whose meta.json exists, so
-            # an interrupted save can neither read as a cache hit nor leave a
-            # truncated meta.json that poisons the key forever.
-            meta_path = directory / "meta.json"
-            if meta_path.exists():
-                meta_path.unlink()
-            arrays_path = directory / "arrays.npz"
-            if arrays:
-                save_npz(arrays_path, arrays)
-            elif arrays_path.exists():
-                arrays_path.unlink()
-            staging_path = directory / "meta.json.tmp"
-            save_json(staging_path, {"format": _FORMAT, "stage": stage, "key": key, "meta": meta})
-            os.replace(staging_path, meta_path)
+            # Both files are staged under unique temp names and committed
+            # with atomic renames — arrays first, then meta.json.  load()
+            # only trusts entries whose meta.json exists, so an interrupted
+            # save can neither read as a cache hit nor leave a truncated
+            # file that poisons the key; and because temp names are unique
+            # (uuid, not a fixed ".tmp"), any number of processes may race
+            # a save of the same key — each commit is one writer's complete
+            # bytes, last write wins, a concurrent reader sees some complete
+            # version, never a torn one.
+            for attempt in (0, 1):
+                try:
+                    token = uuid.uuid4().hex
+                    arrays_path = directory / "arrays.npz"
+                    if arrays:
+                        # np.savez appends ".npz" to names missing it, so the
+                        # temp name keeps the suffix for os.replace to find it.
+                        staging_arrays = directory / f".{token}.tmp.npz"
+                        save_npz(staging_arrays, arrays)
+                        os.replace(staging_arrays, arrays_path)
+                    elif arrays_path.exists():
+                        arrays_path.unlink()
+                    staging_meta = directory / f".{token}.meta.tmp"
+                    save_json(
+                        staging_meta,
+                        {"format": _FORMAT, "stage": stage, "key": key, "meta": meta, "arrays": bool(arrays)},
+                    )
+                    os.replace(staging_meta, directory / "meta.json")
+                    break
+                except FileNotFoundError:
+                    # A racing discard() can rmdir the entry directory between
+                    # our mkdir and a write; one retry recreates it after the
+                    # racer is done with it.
+                    if attempt:
+                        raise
             path = directory
         artifact = Artifact(stage=stage, key=key, meta=meta, arrays=arrays, path=path)
         self._memory[(stage, key)] = artifact
@@ -175,13 +206,22 @@ class ArtifactStore:
         existed = self._memory.pop((stage, key), None) is not None
         if self.root is not None:
             directory = self._entry_dir(stage, key)
-            for name in ("meta.json", "meta.json.tmp", "arrays.npz"):
-                target = directory / name
-                if target.exists():
-                    target.unlink()
-                    existed = name != "meta.json.tmp" or existed
-            if directory.exists() and not any(directory.iterdir()):
-                directory.rmdir()
+            if directory.is_dir():
+                # Only the committed files are deleted — meta.json (the
+                # commit marker) first, so a racing reader sees "no entry",
+                # never a marker whose arrays were deleted from under it.
+                # Staging files belong to in-flight saves of other processes
+                # and must survive (their os.replace will commit them).
+                for name in ("meta.json", "arrays.npz"):
+                    try:
+                        (directory / name).unlink()
+                        existed = True
+                    except FileNotFoundError:  # racing discard/save
+                        pass
+                try:
+                    directory.rmdir()
+                except OSError:  # refilled (or never emptied) by a racer
+                    pass
         return existed
 
     def stats(self) -> dict[str, object]:

@@ -1,0 +1,324 @@
+"""Tests for multi-process serving (repro.serving.pool / frontend / diskcache)."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.hardware.device import get_device
+from repro.nas.presets import device_fast_architecture
+from repro.serving import (
+    AdmissionError,
+    DeadlineExceededError,
+    EngineConfig,
+    InferenceEngine,
+    ModelRegistry,
+    PoolConfig,
+    SharedArrayCache,
+    WorkerCrashError,
+    WorkerPoolEngine,
+    deployment_fingerprint,
+)
+from repro.serving.frontend import AsyncServingFrontend, request_over_tcp
+
+
+def _make_registry(name="model", device="raspberry-pi", num_classes=6, k=6, slo_ms=None, seed=0):
+    registry = ModelRegistry()
+    registry.register(
+        name,
+        device_fast_architecture(device),
+        get_device(device),
+        num_classes=num_classes,
+        k=k,
+        slo_ms=slo_ms,
+        seed=seed,
+    )
+    return registry
+
+
+def _clouds(rng, count, num_points=20):
+    return [rng.standard_normal((num_points, 3)) for _ in range(count)]
+
+
+class TestSharedArrayCache:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = SharedArrayCache(tmp_path)
+        value = np.arange(12, dtype=np.float64).reshape(3, 4)
+        assert cache.get("k1") is None
+        assert cache.put_if_absent("k1", value)
+        np.testing.assert_array_equal(cache.get("k1"), value)
+        assert "k1" in cache and len(cache) == 1
+
+    def test_first_write_wins(self, tmp_path):
+        cache = SharedArrayCache(tmp_path)
+        cache.put_if_absent("k", np.array([1.0]))
+        assert not cache.put_if_absent("k", np.array([2.0]))
+        np.testing.assert_array_equal(cache.get("k"), [1.0])
+
+    def test_two_instances_share_entries(self, tmp_path):
+        writer = SharedArrayCache(tmp_path)
+        reader = SharedArrayCache(tmp_path)
+        writer.put_if_absent("k", np.array([3.0, 4.0]))
+        np.testing.assert_array_equal(reader.get("k"), [3.0, 4.0])
+        assert reader.stats().hits == 1
+
+    def test_clear_and_stats(self, tmp_path):
+        cache = SharedArrayCache(tmp_path)
+        cache.put_if_absent("a", np.array([1.0]))
+        cache.put_if_absent("b", np.array([2.0]))
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.stats_dict()["writes"] == 2
+
+
+class TestDeploymentFingerprint:
+    def test_stable_across_save_load(self, tmp_path):
+        registry = _make_registry()
+        registry.save(tmp_path / "reg")
+        reloaded = ModelRegistry.load(tmp_path / "reg")
+        assert deployment_fingerprint(registry.get("model"), "numpy") == deployment_fingerprint(
+            reloaded.get("model"), "numpy"
+        )
+
+    def test_sensitive_to_weights_and_backend(self):
+        entry_a = _make_registry(seed=0).get("model")
+        entry_b = _make_registry(seed=99).get("model")
+        assert deployment_fingerprint(entry_a, "numpy") != deployment_fingerprint(entry_b, "numpy")
+        assert deployment_fingerprint(entry_a, "numpy") != deployment_fingerprint(entry_a, "numpy-blocked")
+
+
+class TestPoolConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 0},
+            {"workers": -2},
+            {"request_timeout_s": 0.0},
+            {"request_timeout_s": -1.0},
+            {"max_queue_depth": 0},
+            {"max_retries": -1},
+            {"poll_interval_s": 0.0},
+            {"start_method": "thread"},
+        ],
+    )
+    def test_invalid_rejected_at_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            PoolConfig(**kwargs)
+
+    def test_defaults_valid(self):
+        assert PoolConfig().workers == 2
+
+
+class TestWorkerPoolEngine:
+    def test_serves_across_workers(self, rng):
+        registry = _make_registry()
+        with WorkerPoolEngine(registry, EngineConfig(max_batch_size=4), PoolConfig(workers=2)) as pool:
+            results = pool.submit_many("model", _clouds(rng, 12))
+            assert len(results) == 12
+            assert all(result.logits.shape == (6,) for result in results)
+            assert {result.worker for result in results} <= {0, 1}
+
+    def test_bit_identical_to_in_process_engine(self, rng):
+        registry = _make_registry()
+        clouds = _clouds(rng, 8)
+        # max_batch_size=1 pins the batch composition, the only source of
+        # bitwise drift between engines (BLAS is not batch-shape stable).
+        engine = InferenceEngine(registry, EngineConfig(max_batch_size=1))
+        expected = [engine.submit("model", cloud).logits for cloud in clouds]
+        with WorkerPoolEngine(registry, EngineConfig(max_batch_size=1), PoolConfig(workers=2)) as pool:
+            results = pool.submit_many("model", clouds)
+        for logits, result in zip(expected, results):
+            np.testing.assert_array_equal(logits, result.logits)
+
+    def test_frontend_admission_rejects_before_dispatch(self, rng):
+        registry = _make_registry(slo_ms=1e-9)
+        with WorkerPoolEngine(registry, EngineConfig(), PoolConfig(workers=1)) as pool:
+            with pytest.raises(AdmissionError):
+                pool.request("model", _clouds(rng, 1)[0])
+            assert pool.submitted == 0  # rejected before any IPC
+            assert pool.telemetry.model("model").rejected == 1
+
+    def test_submit_many_return_exceptions(self, rng):
+        registry = _make_registry()
+        good = _clouds(rng, 2)
+        bad = np.full((20, 3), np.nan)
+        with WorkerPoolEngine(registry, EngineConfig(), PoolConfig(workers=1)) as pool:
+            outcomes = pool.submit_many("model", [good[0], bad, good[1]], return_exceptions=True)
+        assert outcomes[0].label >= 0 and outcomes[2].label >= 0
+        assert isinstance(outcomes[1], ValueError)
+
+    def test_deadline_expires_in_queue(self, rng):
+        registry = _make_registry()
+        with WorkerPoolEngine(
+            registry, EngineConfig(), PoolConfig(workers=1, request_timeout_s=1e-6)
+        ) as pool:
+            with pytest.raises(DeadlineExceededError):
+                pool.request("model", _clouds(rng, 1)[0])
+
+    def test_crash_requeues_to_surviving_worker(self, rng):
+        registry = _make_registry()
+        pool = WorkerPoolEngine(registry, EngineConfig(), PoolConfig(workers=2, max_retries=1))
+        try:
+            # Warm both workers so they are live, then force every new
+            # request onto worker 0 by inflating worker 1's load.
+            pool.submit_many("model", _clouds(rng, 2))
+            pool._workers[1].inflight += 1000
+            pool._workers[0].task_queue.put(("crash",))
+            futures = [pool.submit("model", cloud) for cloud in _clouds(rng, 3)]
+            pool._workers[1].inflight -= 1000
+            results = [future.result(timeout=60) for future in futures]
+            assert all(result.worker == 1 for result in results)
+            assert pool.worker_crashes == 1
+            assert pool.requeued == 3
+        finally:
+            pool.shutdown()
+
+    def test_crash_with_no_survivor_fails_future(self, rng):
+        registry = _make_registry()
+        pool = WorkerPoolEngine(registry, EngineConfig(), PoolConfig(workers=1, max_retries=1))
+        try:
+            pool.request("model", _clouds(rng, 1)[0])
+            pool._workers[0].task_queue.put(("crash",))
+            future = pool.submit("model", _clouds(rng, 1)[0])
+            with pytest.raises(WorkerCrashError):
+                future.result(timeout=60)
+        finally:
+            pool.shutdown()
+
+    def test_submit_after_shutdown_rejected(self, rng):
+        registry = _make_registry()
+        pool = WorkerPoolEngine(registry, EngineConfig(), PoolConfig(workers=1))
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.submit("model", _clouds(rng, 1)[0])
+        pool.shutdown()  # idempotent
+
+    def test_shared_cache_spans_sequential_pools(self, rng, tmp_path):
+        registry = _make_registry()
+        clouds = _clouds(rng, 6)
+        config = EngineConfig(max_batch_size=2)
+        with WorkerPoolEngine(registry, config, PoolConfig(workers=2), root=tmp_path) as pool:
+            first = pool.submit_many("model", clouds)
+        # A fresh pool over the same root: every request is a disk hit.
+        with WorkerPoolEngine(registry, config, PoolConfig(workers=2), root=tmp_path) as pool:
+            second = pool.submit_many("model", clouds)
+            assert all(result.from_cache for result in second)
+        # Worker cache counters arrive with the shutdown snapshots.
+        stats = pool.fleet_cache_stats()
+        assert stats["shared"].hits >= len(clouds)
+        for before, after in zip(first, second):
+            np.testing.assert_array_equal(before.logits, after.logits)
+
+
+class TestFleetTelemetry:
+    def test_three_worker_merge_sums_and_percentiles(self, rng):
+        """Satellite: N-way merge through ≥3 real worker processes."""
+        registry = _make_registry()
+        pool = WorkerPoolEngine(registry, EngineConfig(max_batch_size=2), PoolConfig(workers=3))
+        try:
+            results = pool.submit_many("model", _clouds(rng, 18))
+            assert len({result.worker for result in results}) >= 2
+        finally:
+            pool.shutdown()
+        assert sorted(pool.worker_snapshots) == [0, 1, 2]
+        per_worker_served = []
+        latencies: list[float] = []
+        for snapshot in pool.worker_snapshots.values():
+            models = snapshot["telemetry"]["models"]
+            if "model" in models:
+                per_worker_served.append(int(models["model"]["served"]["value"]))
+                latencies.extend(models["model"]["latency"]["window"])
+        fleet = pool.fleet_telemetry().model("model")
+        # Counter sums: fleet served equals the sum of per-worker counts,
+        # which equals the number of requests (nothing double-counted).
+        assert fleet.served == sum(per_worker_served) == 18
+        # Histogram coherence: the merged window is the concatenation of the
+        # worker windows, so percentiles match a direct computation.
+        assert len(latencies) == 18
+        merged = fleet.latency_percentiles()
+        for key, rank in (("p50", 50.0), ("p95", 95.0), ("p99", 99.0)):
+            assert merged[key] == pytest.approx(float(np.percentile(latencies, rank)))
+
+    def test_report_includes_per_worker_breakdown(self, rng):
+        registry = _make_registry()
+        with WorkerPoolEngine(registry, EngineConfig(), PoolConfig(workers=2)) as pool:
+            pool.submit_many("model", _clouds(rng, 8))
+            pool.shutdown()
+            report = pool.report()
+        assert set(report["workers"]) == {0, 1}
+        assert report["frontend"]["submitted"] == 8
+        total = sum(
+            worker_report["models"]["model"]["served"]
+            for worker_report in report["workers"].values()
+            if "model" in worker_report["models"]
+        )
+        assert total == 8
+        assert "fleet telemetry" in pool.format_report()
+
+    def test_fleet_metrics_merge_worker_counters(self, rng):
+        registry = _make_registry()
+        with WorkerPoolEngine(registry, EngineConfig(), PoolConfig(workers=2)) as pool:
+            pool.submit_many("model", _clouds(rng, 6))
+            pool.shutdown()
+        merged = pool.fleet_metrics
+        assert merged, "worker metrics snapshots should merge into a fleet view"
+        served = merged.get("serving.worker.served")
+        assert served is not None and int(served["value"]) == 6
+
+
+class TestAsyncFrontend:
+    def test_tcp_round_trip_and_errors(self, rng):
+        registry = _make_registry()
+
+        async def scenario():
+            with WorkerPoolEngine(registry, EngineConfig(), PoolConfig(workers=2)) as pool:
+                frontend = AsyncServingFrontend(pool)
+                host, port = await frontend.start(port=0)
+                requests = [
+                    {"model": "model", "points": cloud.tolist()} for cloud in _clouds(rng, 4)
+                ]
+                requests.append({"model": "missing", "points": requests[0]["points"]})
+                requests.append({"points": "not-a-cloud"})
+                responses = await request_over_tcp(host, port, requests)
+                await frontend.stop()
+                return responses, frontend
+
+        responses, frontend = asyncio.run(scenario())
+        served = [response for response in responses if response["ok"]]
+        failed = [response for response in responses if not response["ok"]]
+        assert len(served) == 4 and frontend.requests_served == 4
+        assert all(len(response["logits"]) == 6 for response in served)
+        assert {response["error"] for response in failed} == {"KeyError", "BadRequest"}
+
+    def test_async_submit_matches_sync(self, rng):
+        registry = _make_registry()
+        cloud = _clouds(rng, 1)[0]
+
+        async def scenario(pool):
+            frontend = AsyncServingFrontend(pool)
+            return await frontend.submit("model", cloud)
+
+        engine = InferenceEngine(registry, EngineConfig(max_batch_size=1))
+        expected = engine.submit("model", cloud)
+        with WorkerPoolEngine(registry, EngineConfig(max_batch_size=1), PoolConfig(workers=1)) as pool:
+            result = asyncio.run(scenario(pool))
+        np.testing.assert_array_equal(expected.logits, result.logits)
+
+
+class TestWorkspacePoolServing:
+    def test_serve_pool_reports_fleet_view(self, rng, tmp_path):
+        from repro.workspace import Workspace
+
+        workspace = Workspace(device="raspberry-pi", root=tmp_path)
+        workspace.deploy(device_fast_architecture("raspberry-pi"), num_classes=6, name="demo")
+        report = workspace.serve_pool(
+            _clouds(rng, 6), name="demo", pool_config=PoolConfig(workers=2)
+        )
+        assert len(report.results) == 6
+        assert report.workers == 2
+        assert report.telemetry["frontend"]["submitted"] == 6
+        # The shared tier lives under the workspace root and survives the pool.
+        assert (tmp_path / "serving_cache").is_dir()

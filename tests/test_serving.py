@@ -225,6 +225,30 @@ class TestModelRegistry:
             assert np.array_equal(a.logits, b.logits)
 
 
+class TestEngineConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_batch_size": 0},
+            {"max_batch_size": -4},
+            {"max_wait_ms": -1.0},
+            {"max_queue_depth": 0},
+            {"result_cache_capacity": -1},
+            {"edge_cache_capacity": -1},
+            {"quantize_decimals": -1},
+            {"telemetry_window": 0},
+            {"backend": "no-such-backend"},
+        ],
+    )
+    def test_invalid_rejected_at_construction(self, kwargs):
+        with pytest.raises((ValueError, KeyError)):
+            EngineConfig(**kwargs)
+
+    def test_defaults_and_edge_values_accepted(self):
+        EngineConfig()
+        EngineConfig(max_wait_ms=0.0, result_cache_capacity=0, edge_cache_capacity=0)
+
+
 class TestInferenceEngine:
     def test_submit_single(self, rng):
         engine = InferenceEngine(_make_registry())

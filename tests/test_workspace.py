@@ -418,3 +418,66 @@ class TestThrowawayWorkspaceShims:
         ws = Workspace(device=spec)
         assert ws.device is spec
         assert isinstance(ws.device, DeviceSpec)
+
+
+# ---------------------------------------------------------------------- #
+# Concurrent-writer safety (multi-worker pools share one --root)
+# ---------------------------------------------------------------------- #
+def _store_stress_worker(root, stage, shared_key, writer_id, iterations, errors):
+    """One racing process: repeatedly write and read back the same key."""
+    try:
+        from repro.workspace.store import ArtifactStore
+
+        meta = {"v": 7}
+        arrays = {"w": np.full(8, 7.0)}
+        for iteration in range(iterations):
+            store = ArtifactStore(root)
+            # Same key, same content: the content-addressed contract all
+            # racing writers of one key obey.
+            store.save(stage, shared_key, meta=meta, arrays=arrays)
+            store.save(stage, f"own-{writer_id}", meta={"writer": writer_id}, arrays=arrays)
+            loaded = ArtifactStore(root).load(stage, shared_key)
+            if loaded is not None:  # a racing discard below may blank it
+                if loaded.meta != meta or not np.array_equal(loaded.arrays["w"], arrays["w"]):
+                    errors.put(f"worker {writer_id} iteration {iteration}: torn read {loaded.meta}")
+            if writer_id == 0 and iteration % 5 == 4:
+                store.discard(stage, shared_key)
+    except Exception as error:  # noqa: BLE001 - reported to the parent
+        errors.put(f"worker {writer_id}: {type(error).__name__}: {error}")
+
+
+class TestArtifactStoreConcurrency:
+    def test_racing_writers_never_tear(self, tmp_path):
+        import multiprocessing
+
+        context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+        errors = context.Queue()
+        shared_key = "deadbeef00112233"
+        processes = [
+            context.Process(
+                target=_store_stress_worker,
+                args=(str(tmp_path), "stress", shared_key, writer_id, 20, errors),
+            )
+            for writer_id in range(4)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=120)
+        failures = []
+        while not errors.empty():
+            failures.append(errors.get())
+        assert not failures, failures
+        assert all(process.exitcode == 0 for process in processes)
+        # Last write wins: the final state is one writer's complete entry.
+        final = ArtifactStore(tmp_path)
+        for writer_id in range(4):
+            artifact = final.load("stress", f"own-{writer_id}")
+            assert artifact is not None and artifact.meta == {"writer": writer_id}
+        # No staging litter: every temp file was committed or is orphaned
+        # under a unique name that discard/save never confuses with data.
+        committed = {"meta.json", "arrays.npz"}
+        for entry in (tmp_path / "stress").glob("*/*"):
+            assert entry.name in committed or entry.name.startswith("."), entry
