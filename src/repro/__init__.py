@@ -99,6 +99,12 @@ _LAZY_EXPORTS = {
     "unregister_device": "repro.hardware.device",
     "get_device": "repro.hardware.device",
     "list_devices": "repro.hardware.device",
+    "FaultPlan": "repro.faults",
+    "FaultSpec": "repro.faults",
+    "use_faults": "repro.faults",
+    "fault_point": "repro.faults",
+    "reset_faults": "repro.faults",
+    "InjectedFault": "repro.faults",
     "register_latency_evaluator": "repro.nas.latency_eval",
     "unregister_latency_evaluator": "repro.nas.latency_eval",
     "list_latency_evaluators": "repro.nas.latency_eval",

@@ -252,6 +252,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         latency_oracle=args.oracle,
         seed=args.seed,
         fresh=args.fresh,
+        resume=args.resume,
     )
     print(render_architecture(result.best_architecture, title=f"{workspace.device.display_name} design"))
     print(f"objective score      : {result.best_score:.3f}")
@@ -302,6 +303,13 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=30.0,
         help="per-request deadline in seconds for the worker pool (default: 30)",
+    )
+    parser.add_argument(
+        "--max-restarts",
+        type=int,
+        default=2,
+        help="with --workers, automatic restarts per crashed worker slot before the "
+        "pool degrades to the survivors (default: 2)",
     )
 
 
@@ -362,6 +370,7 @@ def _serve_pool_stream(
     pool_config = PoolConfig(
         workers=args.workers,
         request_timeout_s=args.request_timeout,
+        max_restarts=args.max_restarts,
         shared_cache=not args.no_cache,
         dtype=args.dtype,
     )
@@ -558,6 +567,12 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--samples-per-class", type=int, default=6, help="samples per class")
     search.add_argument("--points", type=int, default=32, help="points per training cloud")
     search.add_argument("--fresh", action="store_true", help="re-search even when a cached artifact exists")
+    search.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the committed search checkpoint left by an interrupted run "
+        "(bit-identical to an uninterrupted search)",
+    )
     search.set_defaults(func=_cmd_search)
 
     serve = add_command("serve", "serve a synthetic request stream, print telemetry")

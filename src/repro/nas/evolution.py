@@ -127,9 +127,18 @@ class EvolutionarySearch(Generic[Genotype]):
         self.validate_fn = validate
         self.max_validation_attempts = max_validation_attempts
         self._cache: dict[Hashable, float] = {}
+        # Genotype behind every cache key, so the cache can be serialized
+        # into a checkpoint (keys are arbitrary hashables; genotypes have
+        # caller-supplied encoders).
+        self._cache_genotypes: dict[Hashable, Genotype] = {}
         self.evaluations = 0
         self.cache_hits = 0
         self.rejections = 0
+        # Resumable run state: generations completed so far live on the
+        # instance, so run() can continue from a restored checkpoint.
+        self._population: list[tuple[Genotype, float]] | None = None
+        self._history: list[HistoryPoint] = []
+        self._next_iteration = 0
 
     # ------------------------------------------------------------------ #
     def _evaluate(self, genotype: Genotype) -> float:
@@ -139,6 +148,7 @@ class EvolutionarySearch(Generic[Genotype]):
             return self._cache[cache_key]
         score = float(self.evaluate_fn(genotype))
         self._cache[cache_key] = score
+        self._cache_genotypes[cache_key] = genotype
         self.evaluations += 1
         self.clock.advance(self.evaluation_cost_s)
         return score
@@ -167,6 +177,7 @@ class EvolutionarySearch(Generic[Genotype]):
                 )
             for cache_key, score in zip(pending, scores):
                 self._cache[cache_key] = float(score)
+                self._cache_genotypes[cache_key] = pending[cache_key]
                 self.evaluations += 1
                 # One advance per genotype (not one multiplied advance):
                 # float addition is order-sensitive, and the sequential path
@@ -266,56 +277,127 @@ class EvolutionarySearch(Generic[Genotype]):
         metrics.set_gauge("nas.evolution.best_fitness", float(population[0][1]), aggregate="max")
         return population
 
-    def run(self, iterations: int) -> EvolutionResult[Genotype]:
+    # ------------------------------------------------------------------ #
+    # Checkpoint support
+    # ------------------------------------------------------------------ #
+    def state_dict(self, encode: Callable[[Genotype], object]) -> dict:
+        """JSON-compatible snapshot of the run state after a generation.
+
+        ``encode`` maps one genotype to a JSON-compatible document (the
+        inverse of ``load_state_dict``'s ``decode``).  The snapshot covers
+        everything :meth:`run` consumes besides the shared ``rng``/``clock``
+        (which the caller checkpoints alongside): population, history,
+        fitness cache and the bookkeeping counters.
+        """
+        if self._population is None:
+            raise RuntimeError("no generation has completed; nothing to checkpoint")
+        return {
+            "next_iteration": self._next_iteration,
+            "evaluations": self.evaluations,
+            "cache_hits": self.cache_hits,
+            "rejections": self.rejections,
+            "population": [[encode(genotype), float(score)] for genotype, score in self._population],
+            "history": [
+                {
+                    "iteration": point.iteration,
+                    "evaluations": point.evaluations,
+                    "best_score": point.best_score,
+                    "clock_s": point.clock_s,
+                }
+                for point in self._history
+            ],
+            "cache": [
+                [encode(self._cache_genotypes[cache_key]), float(score)]
+                for cache_key, score in self._cache.items()
+            ],
+        }
+
+    def load_state_dict(self, state: dict, decode: Callable[[object], Genotype]) -> None:
+        """Restore a :meth:`state_dict` snapshot; the next :meth:`run` resumes.
+
+        Cache keys are rebuilt through ``key_fn`` from the decoded
+        genotypes, so the restored cache is keyed identically to one built
+        by a live run.
+        """
+        self._cache = {}
+        self._cache_genotypes = {}
+        for document, score in state["cache"]:
+            genotype = decode(document)
+            cache_key = self.key_fn(genotype)
+            self._cache[cache_key] = float(score)
+            self._cache_genotypes[cache_key] = genotype
+        self._population = [(decode(document), float(score)) for document, score in state["population"]]
+        self._history = [HistoryPoint(**point) for point in state["history"]]
+        self._next_iteration = int(state["next_iteration"])
+        self.evaluations = int(state["evaluations"])
+        self.cache_hits = int(state["cache_hits"])
+        self.rejections = int(state["rejections"])
+
+    def _record_generation(self, iteration: int) -> None:
+        assert self._population is not None
+        self._history.append(
+            HistoryPoint(
+                iteration=iteration,
+                evaluations=self.evaluations,
+                best_score=self._population[0][1],
+                clock_s=self.clock.now,
+            )
+        )
+        self._next_iteration = iteration + 1
+
+    def run(
+        self,
+        iterations: int,
+        on_generation: Callable[[int], None] | None = None,
+    ) -> EvolutionResult[Genotype]:
         """Run the EA for ``iterations`` generations.
 
         Args:
             iterations: Number of generations after the random initial one.
+            on_generation: Called after every completed generation with its
+                index — the checkpoint hook (generation state is readable
+                through :meth:`state_dict` at that moment).
 
         Returns:
             The best genotype found, its score and the search history.
+
+        After :meth:`load_state_dict`, already-completed generations are
+        skipped and the run continues exactly where the snapshot left off
+        (bit-identical to an uninterrupted run given identically restored
+        ``rng``/``clock``).
         """
         if iterations <= 0:
             raise ValueError("iterations must be positive")
-        population = self._traced_generation(
-            0,
-            lambda: self._spawn_and_score(
-                self.config.population_size, lambda: self.initialize(self.rng)
-            ),
-        )
-        history = [
-            HistoryPoint(
-                iteration=0,
-                evaluations=self.evaluations,
-                best_score=population[0][1],
-                clock_s=self.clock.now,
+        if self._population is None:
+            self._population = self._traced_generation(
+                0,
+                lambda: self._spawn_and_score(
+                    self.config.population_size, lambda: self.initialize(self.rng)
+                ),
             )
-        ]
+            self._record_generation(0)
+            if on_generation is not None:
+                on_generation(0)
 
         num_parents = self.config.num_parents
         num_children = self.config.population_size - num_parents
-        for iteration in range(1, iterations + 1):
-            parents = population[:num_parents]
-            population = self._traced_generation(
+        for iteration in range(self._next_iteration, iterations + 1):
+            parents = self._population[:num_parents]
+            self._population = self._traced_generation(
                 iteration,
                 lambda parents=parents: parents
                 + self._spawn_and_score(num_children, lambda: self._make_child(parents)),
             )
-            history.append(
-                HistoryPoint(
-                    iteration=iteration,
-                    evaluations=self.evaluations,
-                    best_score=population[0][1],
-                    clock_s=self.clock.now,
-                )
-            )
+            self._record_generation(iteration)
+            if on_generation is not None:
+                on_generation(iteration)
 
-        best, best_score = population[0]
+        best, best_score = self._population[0]
         return EvolutionResult(
             best=best,
             best_score=best_score,
-            history=history,
-            population=population,
+            history=list(self._history),
+            population=list(self._population),
             evaluations=self.evaluations,
             rejections=self.rejections,
         )

@@ -18,16 +18,27 @@ Search time is tracked on a :class:`~repro.utils.timer.VirtualClock`
 advanced by modelled costs (supernet training epochs, accuracy evaluations,
 latency queries) so the time-vs-quality plots are deterministic and
 machine-independent.
+
+Both :meth:`HGNAS.run` and :meth:`HGNAS.run_one_stage` accept a
+:class:`~repro.nas.checkpoint.SearchCheckpointer`: progress is committed
+after every supernet epoch and every EA generation, and a search restarted
+from the checkpoint replays the remainder *bit-identically* — the
+checkpoint captures the shared RNG (and evaluator RNG) state, the virtual
+clock, the fitness caches and the EA population, so every random draw and
+every float addition after the resume point repeats the uninterrupted run.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
+from typing import Mapping
 
 import numpy as np
 
 from repro.data.dataset import InMemoryDataset
 from repro.nas.architecture import Architecture
+from repro.nas.checkpoint import SearchCheckpointer
 from repro.nas.design_space import DesignSpace, DesignSpaceConfig
 from repro.nas.evolution import EvolutionConfig, EvolutionarySearch, HistoryPoint
 from repro.nas.latency_eval import (
@@ -48,6 +59,22 @@ from repro.utils.timer import VirtualClock
 __all__ = ["HGNASConfig", "SearchResult", "HGNAS"]
 
 _LOGGER = get_logger("nas.search")
+
+
+def _prefixed(arrays: Mapping[str, np.ndarray], prefix: str) -> dict[str, np.ndarray]:
+    return {f"{prefix}{name}": array for name, array in arrays.items()}
+
+
+def _subset(arrays: Mapping[str, np.ndarray], prefix: str) -> dict[str, np.ndarray]:
+    return {name[len(prefix):]: array for name, array in arrays.items() if name.startswith(prefix)}
+
+
+def _history_docs(history: list[HistoryPoint]) -> list[dict]:
+    return [dataclasses.asdict(point) for point in history]
+
+
+def _history_from_docs(documents: list[dict]) -> list[HistoryPoint]:
+    return [HistoryPoint(**document) for document in documents]
 
 
 @dataclass(frozen=True)
@@ -185,6 +212,10 @@ class HGNAS:
         # the clock sees the same sequence of additions as sequential
         # evaluation (summation order matters for float equality).
         self._prefetched_latencies: dict[tuple, float] = {}
+        # Architecture behind every cache key, so the caches above can be
+        # serialized into a checkpoint (keys are tuples, architectures have
+        # to_dict/from_dict).
+        self._arch_by_key: dict[tuple, Architecture] = {}
 
     @classmethod
     def for_device(
@@ -234,7 +265,36 @@ class HGNAS:
         scale = self.latency_evaluator.evaluate(reference)
         return max(float(scale), 1e-6)
 
-    def _train_supernet(self, supernet: Supernet, path_sampler, epochs: int) -> None:
+    def _train_supernet(
+        self,
+        supernet: Supernet,
+        path_sampler,
+        epochs: int,
+        *,
+        checkpointer: SearchCheckpointer | None = None,
+        phase: str | None = None,
+        strategy: str | None = None,
+        results: dict | None = None,
+        start_epoch: int = 0,
+        optimizer_state: dict[str, np.ndarray] | None = None,
+    ) -> None:
+        # Clock invariant: the training charge is added once, after the
+        # epoch loop.  Per-epoch checkpoints therefore carry the
+        # *pre-training* clock value, and a resumed run — which restores
+        # that value, finishes the remaining epochs and then performs the
+        # same single advance — lands on a bit-identical clock.
+        on_epoch = None
+        if checkpointer is not None and phase is not None:
+
+            def on_epoch(epoch: int, optimizer) -> None:
+                if not checkpointer.accepts(epoch):
+                    return
+                meta = self._capture_meta(phase, epoch, strategy=strategy, results=results)
+                meta["supernet_rng"] = supernet.rng_state()
+                arrays = _prefixed(supernet.state_dict(), "supernet.")
+                arrays.update(_prefixed(optimizer.state_dict(), "optimizer."))
+                checkpointer.save(meta, arrays)
+
         train_supernet(
             supernet,
             self.train_dataset,
@@ -243,11 +303,125 @@ class HGNAS:
             batch_size=self.config.batch_size,
             lr=self.config.learning_rate,
             rng=self.rng,
+            start_epoch=start_epoch,
+            optimizer_state=optimizer_state,
+            on_epoch=on_epoch,
         )
         self.clock.advance(epochs * self.config.epoch_cost_s)
 
+    # ------------------------------------------------------------------ #
+    # Checkpoint capture / restore
+    # ------------------------------------------------------------------ #
+    def _encode_arch_cache(self, cache: dict[tuple, float]) -> list:
+        return [[self._arch_by_key[key].to_dict(), float(value)] for key, value in cache.items()]
+
+    def _decode_arch_cache(self, payload: list) -> dict[tuple, float]:
+        cache: dict[tuple, float] = {}
+        for document, value in payload:
+            architecture = Architecture.from_dict(document)
+            key = architecture.key()
+            self._arch_by_key[key] = architecture
+            cache[key] = float(value)
+        return cache
+
+    def _capture_meta(
+        self, phase: str, progress: int, *, strategy: str | None, results: dict | None
+    ) -> dict:
+        """Scalar search state at a checkpoint (arrays travel separately)."""
+        meta = {
+            "phase": phase,
+            "progress": int(progress),
+            "strategy": strategy,
+            "results": dict(results or {}),
+            "rng_state": self.rng.bit_generator.state,
+            "clock_s": float(self.clock.now),
+            "accuracy_cache": self._encode_arch_cache(self._accuracy_cache),
+            "latency_cache": self._encode_arch_cache(self._latency_cache),
+            "prefetched_latencies": self._encode_arch_cache(self._prefetched_latencies),
+        }
+        evaluator_rng = getattr(self.latency_evaluator, "rng", None)
+        if evaluator_rng is not None:
+            meta["evaluator_rng_state"] = evaluator_rng.bit_generator.state
+        return meta
+
+    def _restore_meta(self, meta: dict) -> None:
+        self.rng.bit_generator.state = meta["rng_state"]
+        self.clock.now = float(meta["clock_s"])
+        evaluator_rng = getattr(self.latency_evaluator, "rng", None)
+        if evaluator_rng is not None and "evaluator_rng_state" in meta:
+            evaluator_rng.bit_generator.state = meta["evaluator_rng_state"]
+        self._accuracy_cache = self._decode_arch_cache(meta["accuracy_cache"])
+        self._latency_cache = self._decode_arch_cache(meta["latency_cache"])
+        self._prefetched_latencies = self._decode_arch_cache(meta["prefetched_latencies"])
+
+    def _load_checkpoint(
+        self, checkpointer: SearchCheckpointer | None, strategy: str, phases: tuple[str, ...]
+    ) -> tuple[dict, dict[str, np.ndarray], int, int]:
+        """Restore a committed checkpoint; ``phase_index == -1`` means none."""
+        if checkpointer is None:
+            return {}, {}, -1, -1
+        restored = checkpointer.load()
+        if restored is None:
+            return {}, {}, -1, -1
+        meta, arrays = restored
+        if meta.get("strategy") != strategy:
+            raise ValueError(
+                f"checkpoint {checkpointer.key!r} belongs to a {meta.get('strategy')!r} run, "
+                f"cannot resume a {strategy!r} search from it"
+            )
+        self._restore_meta(meta)
+        phase_index = phases.index(meta["phase"])
+        progress = int(meta["progress"])
+        _LOGGER.info(
+            "resuming %s search from checkpoint: phase=%s progress=%d clock=%.1fs",
+            strategy,
+            meta["phase"],
+            progress,
+            self.clock.now,
+        )
+        return meta, arrays, phase_index, progress
+
+    def _generation_hook(
+        self,
+        checkpointer: SearchCheckpointer | None,
+        phase: str,
+        strategy: str,
+        results: dict,
+        supernet: Supernet,
+        search: EvolutionarySearch,
+        encode,
+    ):
+        """Per-generation checkpoint callback for :meth:`EvolutionarySearch.run`."""
+        if checkpointer is None:
+            return None
+
+        def hook(iteration: int) -> None:
+            if not checkpointer.accepts(iteration):
+                return
+            meta = self._capture_meta(phase, iteration, strategy=strategy, results=results)
+            meta["supernet_rng"] = supernet.rng_state()
+            meta["ea_state"] = search.state_dict(encode)
+            checkpointer.save(meta, _prefixed(supernet.state_dict(), "supernet."))
+
+        return hook
+
+    @staticmethod
+    def _restore_supernet(supernet: Supernet, meta: dict, arrays: Mapping[str, np.ndarray]) -> None:
+        """Rebuild a checkpointed supernet: weights plus internal RNG streams."""
+        supernet.load_state_dict(_subset(arrays, "supernet."))
+        supernet.set_rng_state(meta["supernet_rng"])
+
+    @staticmethod
+    def _encode_pair(pair: tuple[FunctionSet, FunctionSet]) -> dict:
+        return {"upper": pair[0].to_dict(), "lower": pair[1].to_dict()}
+
+    @staticmethod
+    def _decode_pair(document) -> tuple[FunctionSet, FunctionSet]:
+        return (FunctionSet.from_dict(document["upper"]), FunctionSet.from_dict(document["lower"]))
+
     def _path_accuracy(self, supernet: Supernet, architecture: Architecture) -> float:
         key = architecture.key()
+        self._arch_by_key.setdefault(key, architecture)
         if key not in self._accuracy_cache:
             self._accuracy_cache[key] = evaluate_path(
                 supernet,
@@ -261,6 +435,7 @@ class HGNAS:
 
     def _latency(self, architecture: Architecture) -> float:
         key = architecture.key()
+        self._arch_by_key.setdefault(key, architecture)
         if key not in self._latency_cache:
             if key in self._prefetched_latencies:
                 self._latency_cache[key] = self._prefetched_latencies.pop(key)
@@ -282,6 +457,7 @@ class HGNAS:
         pending: dict[tuple, Architecture] = {}
         for architecture in architectures:
             key = architecture.key()
+            self._arch_by_key.setdefault(key, architecture)
             if (
                 key not in self._latency_cache
                 and key not in self._prefetched_latencies
@@ -321,7 +497,7 @@ class HGNAS:
     # ------------------------------------------------------------------ #
     # Stage 1: function search
     # ------------------------------------------------------------------ #
-    def _search_functions(self, supernet: Supernet) -> tuple[tuple[FunctionSet, FunctionSet], list[HistoryPoint]]:
+    def _function_search(self, supernet: Supernet) -> EvolutionarySearch:
         def initialize(rng: np.random.Generator) -> tuple[FunctionSet, FunctionSet]:
             return (random_function_set(rng), random_function_set(rng))
 
@@ -351,7 +527,7 @@ class HGNAS:
         def key(pair: tuple[FunctionSet, FunctionSet]):
             return (tuple(sorted(pair[0].to_dict().items())), tuple(sorted(pair[1].to_dict().items())))
 
-        search = EvolutionarySearch(
+        return EvolutionarySearch(
             EvolutionConfig(population_size=self.config.population_size),
             initialize=initialize,
             mutate=mutate,
@@ -361,8 +537,6 @@ class HGNAS:
             rng=self.rng,
             clock=self.clock,
         )
-        result = search.run(self.config.function_iterations)
-        return result.best, result.history
 
     # ------------------------------------------------------------------ #
     # Candidate validation (repro.analysis)
@@ -396,9 +570,9 @@ class HGNAS:
     # ------------------------------------------------------------------ #
     # Stage 2: operation search
     # ------------------------------------------------------------------ #
-    def _search_operations(
+    def _operation_search(
         self, supernet: Supernet, upper: FunctionSet, lower: FunctionSet
-    ) -> tuple[Architecture, float, list[HistoryPoint], int]:
+    ) -> EvolutionarySearch:
         def initialize(rng: np.random.Generator) -> Architecture:
             return self.design_space.random_architecture(rng, upper, lower)
 
@@ -414,7 +588,7 @@ class HGNAS:
         def evaluate_many(architectures: list[Architecture]) -> np.ndarray:
             return self._objective_many(supernet, architectures)
 
-        search = EvolutionarySearch(
+        return EvolutionarySearch(
             EvolutionConfig(population_size=self.config.population_size),
             initialize=initialize,
             mutate=mutate,
@@ -426,42 +600,121 @@ class HGNAS:
             evaluate_many=evaluate_many if self.config.batched_evaluation else None,
             validate=self._architecture_validator(),
         )
-        result = search.run(self.config.operation_iterations)
-        return result.best, result.best_score, result.history, result.evaluations
 
     # ------------------------------------------------------------------ #
     # Full runs
     # ------------------------------------------------------------------ #
-    def run(self) -> SearchResult:
-        """Run the multi-stage hierarchical search (Alg. 1)."""
+    def run(self, checkpointer: SearchCheckpointer | None = None) -> SearchResult:
+        """Run the multi-stage hierarchical search (Alg. 1).
+
+        With a ``checkpointer``, progress is committed after every supernet
+        epoch and every EA generation, and a run constructed identically
+        (same config, datasets, evaluator, fresh ``rng``/``clock``) resumes
+        from the committed state bit-identically.  The checkpoint entry is
+        cleared once the search completes.
+        """
         tracer = get_tracer()
-        _LOGGER.info("stage 1: training supernet for function search")
-        with tracer.span("nas.search.stage1_supernet", epochs=self.config.function_epochs):
-            supernet = Supernet(self.config.supernet_config())
-            self._train_supernet(supernet, lambda rng: supernet.random_path(rng), self.config.function_epochs)
+        phases = ("stage1_supernet", "stage1_functions", "stage2_supernet", "stage2_operations")
+        meta, arrays, phase_index, progress = self._load_checkpoint(checkpointer, "multi-stage", phases)
+        results: dict = dict(meta.get("results", {}))
 
-        _LOGGER.info("stage 1: evolutionary function search")
-        with tracer.span("nas.search.stage1_functions") as span:
-            (upper, lower), stage1_history = self._search_functions(supernet)
-            span.attributes.update(best_score=float(stage1_history[-1].best_score))
+        supernet = Supernet(self.config.supernet_config())
+        if phase_index <= 0:
+            _LOGGER.info("stage 1: training supernet for function search")
+            with tracer.span("nas.search.stage1_supernet", epochs=self.config.function_epochs):
+                start_epoch = 0
+                optimizer_state = None
+                if phase_index == 0:
+                    self._restore_supernet(supernet, meta, arrays)
+                    optimizer_state = _subset(arrays, "optimizer.")
+                    start_epoch = progress + 1
+                self._train_supernet(
+                    supernet,
+                    lambda rng: supernet.random_path(rng),
+                    self.config.function_epochs,
+                    checkpointer=checkpointer,
+                    phase="stage1_supernet",
+                    strategy="multi-stage",
+                    results=results,
+                    start_epoch=start_epoch,
+                    optimizer_state=optimizer_state,
+                )
+        elif phase_index == 1:
+            # Interrupted mid stage-1 EA: the weights come from the
+            # checkpoint and the restored clock already carries the
+            # training charge — no training, no advance.
+            self._restore_supernet(supernet, meta, arrays)
 
-        _LOGGER.info("stage 2: re-training supernet with fixed functions")
-        with tracer.span("nas.search.stage2_supernet", epochs=self.config.operation_epochs):
-            supernet = Supernet(self.config.supernet_config())
-            self._accuracy_cache.clear()
-            self._train_supernet(
-                supernet,
-                lambda rng: supernet.random_path(rng, upper_functions=upper, lower_functions=lower),
-                self.config.operation_epochs,
-            )
+        if phase_index <= 1:
+            _LOGGER.info("stage 1: evolutionary function search")
+            with tracer.span("nas.search.stage1_functions") as span:
+                search = self._function_search(supernet)
+                if phase_index == 1:
+                    search.load_state_dict(meta["ea_state"], self._decode_pair)
+                hook = self._generation_hook(
+                    checkpointer, "stage1_functions", "multi-stage", results,
+                    supernet, search, self._encode_pair,
+                )
+                result = search.run(self.config.function_iterations, on_generation=hook)
+                upper, lower = result.best
+                stage1_history = result.history
+                span.attributes.update(best_score=float(stage1_history[-1].best_score))
+            results = {
+                "upper": upper.to_dict(),
+                "lower": lower.to_dict(),
+                "stage1_history": _history_docs(stage1_history),
+            }
+        else:
+            upper = FunctionSet.from_dict(results["upper"])
+            lower = FunctionSet.from_dict(results["lower"])
+            stage1_history = _history_from_docs(results["stage1_history"])
+
+        supernet = Supernet(self.config.supernet_config())
+        if phase_index <= 2:
+            _LOGGER.info("stage 2: re-training supernet with fixed functions")
+            with tracer.span("nas.search.stage2_supernet", epochs=self.config.operation_epochs):
+                start_epoch = 0
+                optimizer_state = None
+                if phase_index == 2:
+                    self._restore_supernet(supernet, meta, arrays)
+                    optimizer_state = _subset(arrays, "optimizer.")
+                    start_epoch = progress + 1
+                else:
+                    self._accuracy_cache.clear()
+                self._train_supernet(
+                    supernet,
+                    lambda rng: supernet.random_path(rng, upper_functions=upper, lower_functions=lower),
+                    self.config.operation_epochs,
+                    checkpointer=checkpointer,
+                    phase="stage2_supernet",
+                    strategy="multi-stage",
+                    results=results,
+                    start_epoch=start_epoch,
+                    optimizer_state=optimizer_state,
+                )
+        else:
+            self._restore_supernet(supernet, meta, arrays)
 
         _LOGGER.info("stage 2: multi-objective operation search")
         with tracer.span("nas.search.stage2_operations") as span:
-            best, best_score, stage2_history, evaluations = self._search_operations(supernet, upper, lower)
+            search = self._operation_search(supernet, upper, lower)
+            if phase_index == 3:
+                search.load_state_dict(meta["ea_state"], Architecture.from_dict)
+            hook = self._generation_hook(
+                checkpointer, "stage2_operations", "multi-stage", results,
+                supernet, search, lambda arch: arch.to_dict(),
+            )
+            result = search.run(self.config.operation_iterations, on_generation=hook)
+            best = result.best
+            best_score = result.best_score
+            stage2_history = result.history
+            evaluations = result.evaluations
             span.attributes.update(best_score=float(best_score), evaluations=evaluations)
 
         best_latency = self._latency(best)
         best_accuracy = self._path_accuracy(supernet, best)
+        if checkpointer is not None:
+            checkpointer.clear()
         return SearchResult(
             best_architecture=best,
             best_score=best_score,
@@ -476,19 +729,43 @@ class HGNAS:
             strategy="multi-stage",
         )
 
-    def run_one_stage(self, iterations: int | None = None) -> SearchResult:
+    def run_one_stage(
+        self, iterations: int | None = None, checkpointer: SearchCheckpointer | None = None
+    ) -> SearchResult:
         """One-stage baseline: jointly search operations and functions.
 
         Used for the Fig. 9(b) ablation.  The supernet is trained once with
         fully random paths (same total epoch budget as the two stages of the
         hierarchical strategy) and a single EA explores the joint space.
+        Checkpoint/resume semantics match :meth:`run` (a resumed run must
+        pass the same ``iterations``).
         """
         tracer = get_tracer()
+        phases = ("one_stage_supernet", "one_stage_search")
+        meta, arrays, phase_index, progress = self._load_checkpoint(checkpointer, "one-stage", phases)
         iterations = iterations or (self.config.function_iterations + self.config.operation_iterations)
         total_epochs = self.config.function_epochs + self.config.operation_epochs
-        with tracer.span("nas.search.one_stage_supernet", epochs=total_epochs):
-            supernet = Supernet(self.config.supernet_config())
-            self._train_supernet(supernet, lambda rng: supernet.random_path(rng), total_epochs)
+        supernet = Supernet(self.config.supernet_config())
+        if phase_index <= 0:
+            with tracer.span("nas.search.one_stage_supernet", epochs=total_epochs):
+                start_epoch = 0
+                optimizer_state = None
+                if phase_index == 0:
+                    self._restore_supernet(supernet, meta, arrays)
+                    optimizer_state = _subset(arrays, "optimizer.")
+                    start_epoch = progress + 1
+                self._train_supernet(
+                    supernet,
+                    lambda rng: supernet.random_path(rng),
+                    total_epochs,
+                    checkpointer=checkpointer,
+                    phase="one_stage_supernet",
+                    strategy="one-stage",
+                    start_epoch=start_epoch,
+                    optimizer_state=optimizer_state,
+                )
+        else:
+            self._restore_supernet(supernet, meta, arrays)
 
         def initialize(rng: np.random.Generator) -> Architecture:
             return self.design_space.random_architecture(rng)
@@ -519,10 +796,18 @@ class HGNAS:
             evaluate_many=evaluate_many if self.config.batched_evaluation else None,
             validate=self._architecture_validator(),
         )
+        if phase_index == 1:
+            search.load_state_dict(meta["ea_state"], Architecture.from_dict)
         with tracer.span("nas.search.one_stage_search", iterations=iterations) as span:
-            result = search.run(iterations)
+            hook = self._generation_hook(
+                checkpointer, "one_stage_search", "one-stage", {},
+                supernet, search, lambda arch: arch.to_dict(),
+            )
+            result = search.run(iterations, on_generation=hook)
             span.attributes.update(best_score=float(result.best_score), evaluations=result.evaluations)
         best = result.best
+        if checkpointer is not None:
+            checkpointer.clear()
         return SearchResult(
             best_architecture=best,
             best_score=result.best_score,

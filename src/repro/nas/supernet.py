@@ -31,7 +31,7 @@ from repro.models.classifier import ClassificationHead
 from repro.nas.architecture import Architecture
 from repro.nas.ops import COMBINE_DIMS, FunctionSet, OperationType
 from repro.nn import functional as F
-from repro.nn.layers import Linear, Module
+from repro.nn.layers import Dropout, Linear, Module
 from repro.nn.tensor import Tensor, concatenate, is_grad_enabled
 from repro.obs.metrics import get_metrics
 
@@ -197,6 +197,41 @@ class Supernet(Module):
         if method == "knn":
             return batched_knn_graph(x.data, batch, self.config.k)
         return batched_random_graph(batch, self.config.k, self._graph_rng)
+
+    # ------------------------------------------------------------------ #
+    # Internal generator state (checkpoint support)
+    # ------------------------------------------------------------------ #
+    def rng_state(self) -> dict:
+        """State of the supernet's internal generators.
+
+        ``state_dict`` covers only learnable parameters, but the supernet
+        also holds two stochastic pieces: the random-graph sampler
+        (:attr:`_graph_rng`, advanced by every forward pass through a
+        ``random``-sampled position, in train *and* eval mode) and the
+        dropout mask generator shared by the classification head.  A
+        checkpoint that rebuilds the supernet from ``state_dict`` alone
+        would silently reset both streams; this pair of methods makes them
+        resumable.
+        """
+        return {
+            "graph": self._graph_rng.bit_generator.state,
+            "dropout": [
+                module.rng.bit_generator.state
+                for module in self.modules()
+                if isinstance(module, Dropout)
+            ],
+        }
+
+    def set_rng_state(self, state: dict) -> None:
+        """Restore a :meth:`rng_state` snapshot."""
+        self._graph_rng.bit_generator.state = state["graph"]
+        dropouts = [module for module in self.modules() if isinstance(module, Dropout)]
+        if len(dropouts) != len(state["dropout"]):
+            raise ValueError(
+                f"snapshot has {len(state['dropout'])} dropout states, supernet has {len(dropouts)}"
+            )
+        for module, rng_state in zip(dropouts, state["dropout"]):
+            module.rng.bit_generator.state = rng_state
 
     # ------------------------------------------------------------------ #
     # Path sampling helpers

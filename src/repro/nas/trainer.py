@@ -157,6 +157,9 @@ def train_supernet(
     lr: float = 3e-3,
     rng: np.random.Generator | None = None,
     grad_clip: float = 5.0,
+    start_epoch: int = 0,
+    optimizer_state: dict[str, np.ndarray] | None = None,
+    on_epoch: Callable[[int, Adam], None] | None = None,
 ) -> TrainingHistory:
     """Train the one-shot supernet with uniform single-path sampling.
 
@@ -175,13 +178,24 @@ def train_supernet(
         lr: Learning rate.
         rng: Generator for shuffling and path sampling.
         grad_clip: Global gradient-norm clip.
+        start_epoch: First epoch index to run (resume support: epochs
+            ``[0, start_epoch)`` are assumed already applied to the weights,
+            the optimizer state and ``rng``).
+        optimizer_state: Optimiser slots captured by ``Adam.state_dict`` at
+            the checkpoint being resumed.
+        on_epoch: Called after every completed epoch with
+            ``(epoch_index, optimizer)`` — the checkpoint hook.
     """
     if epochs <= 0:
         raise ValueError("epochs must be positive")
+    if not 0 <= start_epoch <= epochs:
+        raise ValueError(f"start_epoch must lie in [0, {epochs}], got {start_epoch}")
     rng = rng if rng is not None else np.random.default_rng(0)
     optimizer = Adam(supernet.parameters(), lr=lr)
+    if optimizer_state is not None:
+        optimizer.load_state_dict(optimizer_state)
     history = TrainingHistory()
-    for epoch in range(epochs):
+    for epoch in range(start_epoch, epochs):
         with get_tracer().span("nas.supernet.epoch", epoch=epoch) as span:
             supernet.train()
             loader = _make_loader(train_dataset, batch_size, shuffle=True, rng=rng)
@@ -205,6 +219,8 @@ def train_supernet(
                 accuracy=history.train_accuracies[-1],
             )
         get_metrics().count("nas.supernet.epochs")
+        if on_epoch is not None:
+            on_epoch(epoch, optimizer)
     return history
 
 

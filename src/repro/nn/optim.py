@@ -55,6 +55,15 @@ class Optimizer:
         """Apply one update; implemented by sub-classes."""
         raise NotImplementedError
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat array mapping of the optimiser's slot state (checkpointing)."""
+        return {}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state captured by :meth:`state_dict` (same parameter list)."""
+        if state:
+            raise ValueError(f"unexpected optimizer state keys: {sorted(state)}")
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and Nesterov."""
@@ -75,6 +84,13 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.nesterov = nesterov
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {f"velocity_{i}": v.copy() for i, v in enumerate(self._velocity)}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        for i, velocity in enumerate(self._velocity):
+            velocity[...] = state[f"velocity_{i}"]
 
     def step(self) -> None:
         for param, velocity in zip(self.parameters, self._velocity):
@@ -109,6 +125,19 @@ class Adam(Optimizer):
         self._step = 0
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = {"step": np.asarray(self._step, dtype=np.int64)}
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            state[f"m_{i}"] = m.copy()
+            state[f"v_{i}"] = v.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self._step = int(state["step"])
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            m[...] = state[f"m_{i}"]
+            v[...] = state[f"v_{i}"]
 
     def _decayed_grad(self, param: Tensor) -> np.ndarray:
         grad = param.grad

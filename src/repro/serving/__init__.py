@@ -19,7 +19,10 @@ scenario the paper optimises for.  The subsystem layers:
   processes, each hosting a full engine, behind one admission-controlled
   future-based frontend with crash requeue and fleet telemetry.
 * :mod:`repro.serving.frontend` — asyncio adapter over the pool plus a
-  JSON-lines TCP server (``repro serve --workers N --port P``).
+  JSON-lines TCP server (``repro serve --workers N --port P``) with
+  connect/read timeouts.
+* :mod:`repro.serving.resilience` — client-side retry-with-backoff and a
+  circuit breaker composed by the frontend.
 * :mod:`repro.serving.cli` — the ``repro-serve`` demo entry point.
 
 High-level helpers live in :func:`repro.api.deploy_architecture` and
@@ -36,9 +39,10 @@ from repro.serving.engine import (
     InferenceResult,
     validate_points,
 )
-from repro.serving.frontend import AsyncServingFrontend, request_over_tcp
+from repro.serving.frontend import AsyncServingFrontend, FrontendTimeoutError, request_over_tcp
 from repro.serving.pool import DeadlineExceededError, PoolConfig, WorkerCrashError, WorkerPoolEngine
 from repro.serving.registry import DeployedModel, ModelRegistry
+from repro.serving.resilience import CircuitBreaker, CircuitOpenError, RetryPolicy
 from repro.serving.telemetry import ModelTelemetry, TelemetryStore
 
 __all__ = [
@@ -57,7 +61,11 @@ __all__ = [
     "InferenceResult",
     "validate_points",
     "AsyncServingFrontend",
+    "FrontendTimeoutError",
     "request_over_tcp",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "RetryPolicy",
     "DeadlineExceededError",
     "PoolConfig",
     "WorkerCrashError",

@@ -31,9 +31,13 @@ import uuid
 
 import numpy as np
 
+from repro.faults import fault_point
 from repro.serving.cache import CacheStats
+from repro.utils.logging import get_logger
 
 __all__ = ["SharedArrayCache", "deployment_fingerprint"]
+
+_LOGGER = get_logger("serving.diskcache")
 
 
 def deployment_fingerprint(entry, backend: str) -> str:
@@ -82,6 +86,7 @@ class SharedArrayCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.quarantined = 0
 
     def _path(self, key: str) -> pathlib.Path:
         shard = key[:2] if len(key) >= 2 else "xx"
@@ -95,14 +100,44 @@ class SharedArrayCache:
             return 0
         return sum(1 for _ in self.directory.glob("*/*.npy"))
 
+    def _quarantine(self, path: pathlib.Path) -> None:
+        """Move a damaged entry aside so it is never re-read as a value.
+
+        The ``.corrupt`` suffix takes the file out of every glob and lookup
+        path; keeping the bytes (instead of unlinking) preserves evidence
+        for debugging what wrote them.
+        """
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, target)
+        except FileNotFoundError:  # pragma: no cover - racing deletion
+            return
+        self.quarantined += 1
+        _LOGGER.warning("quarantined corrupt shared-cache entry %s", target)
+
     def get(self, key: str) -> np.ndarray | None:
-        """Load the entry for ``key``, or ``None`` on a miss."""
+        """Load the entry for ``key``, or ``None`` on a miss.
+
+        A truncated or garbled entry (torn by a crashed writer, bit-rotted
+        on disk) reads as a miss: the file is quarantined (renamed to
+        ``<name>.corrupt``) and the caller recomputes, rather than one bad
+        entry failing every request that hashes onto it.
+        """
         path = self._path(key)
+        spec = fault_point("serving.diskcache.get", key=key)
+        if spec is not None and spec.action == "corrupt" and path.exists():
+            path.write_bytes(b"\x00corrupt\x00")  # garble in place: the real recovery path runs
         try:
             value = np.load(path, allow_pickle=False)
-        except (FileNotFoundError, ValueError):
-            # ValueError covers a file racing deletion mid-open on some
-            # platforms; both read as a plain miss.
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, OSError, EOFError):
+            # Bad magic, truncated payload, or an I/O error mid-read: treat
+            # as a miss and quarantine whatever is on disk.  (ValueError also
+            # covers a file racing deletion mid-open on some platforms; the
+            # quarantine rename is then a no-op.)
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
@@ -147,4 +182,5 @@ class SharedArrayCache:
         """JSON-compatible :meth:`stats` plus the write counter."""
         payload = dataclasses.asdict(self.stats())
         payload["writes"] = self.writes
+        payload["quarantined"] = self.quarantined
         return payload

@@ -25,18 +25,34 @@ import json
 
 import numpy as np
 
+from repro.faults import fault_point
 from repro.nn.dtype import get_default_dtype
+from repro.obs.metrics import get_metrics
 from repro.serving.engine import AdmissionError, InferenceResult
 from repro.serving.pool import DeadlineExceededError, WorkerCrashError, WorkerPoolEngine
+from repro.serving.resilience import CircuitBreaker, CircuitOpenError, RetryPolicy
 from repro.utils.logging import get_logger
 
-__all__ = ["AsyncServingFrontend", "request_over_tcp"]
+__all__ = ["AsyncServingFrontend", "FrontendTimeoutError", "request_over_tcp"]
 
 _LOGGER = get_logger("serving.frontend")
 
+
+class FrontendTimeoutError(TimeoutError):
+    """A TCP connect or read exceeded its deadline (reported in-band by name)."""
+
+
 #: Exception types reported to TCP clients by name (anything else is
 #: flattened to ``"InternalError"`` so internals do not leak on the wire).
-_CLIENT_ERRORS = (AdmissionError, DeadlineExceededError, WorkerCrashError, ValueError, KeyError)
+_CLIENT_ERRORS = (
+    AdmissionError,
+    DeadlineExceededError,
+    WorkerCrashError,
+    CircuitOpenError,
+    FrontendTimeoutError,
+    ValueError,
+    KeyError,
+)
 
 
 def _result_message(result: InferenceResult) -> dict:
@@ -66,11 +82,23 @@ def _error_message(error: BaseException) -> dict:
 class AsyncServingFrontend:
     """Awaitable request API and a JSON-lines TCP server over one pool."""
 
-    def __init__(self, pool: WorkerPoolEngine):
+    def __init__(
+        self,
+        pool: WorkerPoolEngine,
+        retry_policy: RetryPolicy | None = None,
+        circuit_breaker: CircuitBreaker | None = None,
+        idle_timeout_s: float | None = None,
+    ):
         self.pool = pool
+        # Worker crashes are transparent by default: a bounded retry gives
+        # the supervisor time to requeue/restart before the client sees it.
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.circuit_breaker = circuit_breaker
+        self.idle_timeout_s = idle_timeout_s
         self._server: asyncio.AbstractServer | None = None
         self.requests_served = 0
         self.requests_failed = 0
+        self.retries = 0
 
     # ------------------------------------------------------------------ #
     # In-process async API
@@ -80,11 +108,36 @@ class AsyncServingFrontend:
 
         ``pool.submit`` validates and admission-checks synchronously (it
         can reject before any IPC), so it runs on the default executor;
-        the returned worker future is then awaited natively.
+        the returned worker future is then awaited natively.  Worker
+        crashes are retried with bounded exponential backoff up to the
+        frontend's :class:`RetryPolicy`; an attached breaker fails fast
+        with :class:`CircuitOpenError` while the pool looks unhealthy.
+        Deadline/admission failures are terminal — the first is already
+        late, the second is the pool shedding load on purpose.
         """
         loop = asyncio.get_running_loop()
-        future = await loop.run_in_executor(None, self.pool.submit, model, points)
-        return await asyncio.wrap_future(future)
+        attempt = 0
+        while True:
+            attempt += 1
+            if self.circuit_breaker is not None:
+                self.circuit_breaker.allow()
+            try:
+                future = await loop.run_in_executor(None, self.pool.submit, model, points)
+                result = await asyncio.wrap_future(future)
+            except WorkerCrashError:
+                if self.circuit_breaker is not None:
+                    self.circuit_breaker.record_failure()
+                if attempt >= self.retry_policy.max_attempts:
+                    raise
+                self.retries += 1
+                get_metrics().count("serving.frontend.retries")
+                backoff = self.retry_policy.backoff(attempt)
+                _LOGGER.warning("worker crash on attempt %d/%d; retrying in %.3fs", attempt, self.retry_policy.max_attempts, backoff)
+                await asyncio.sleep(backoff)
+                continue
+            if self.circuit_breaker is not None:
+                self.circuit_breaker.record_success()
+            return result
 
     # ------------------------------------------------------------------ #
     # TCP server (newline-delimited JSON)
@@ -107,7 +160,22 @@ class AsyncServingFrontend:
     ) -> None:
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    if self.idle_timeout_s is not None:
+                        line = await asyncio.wait_for(reader.readline(), timeout=self.idle_timeout_s)
+                    else:
+                        line = await reader.readline()
+                except asyncio.TimeoutError:
+                    # A stalled peer no longer pins this handler forever: tell
+                    # it why (in-band, typed) and drop the connection.
+                    message = {
+                        "ok": False,
+                        "error": "FrontendTimeoutError",
+                        "message": f"no request received within {self.idle_timeout_s}s; closing connection",
+                    }
+                    writer.write(json.dumps(message).encode() + b"\n")
+                    await writer.drain()
+                    break
                 if not line:
                     break
                 if not line.strip():
@@ -156,19 +224,45 @@ class AsyncServingFrontend:
             await self.stop()
 
 
-async def request_over_tcp(host: str, port: int, requests: list[dict]) -> list[dict]:
+async def request_over_tcp(
+    host: str,
+    port: int,
+    requests: list[dict],
+    connect_timeout_s: float | None = 10.0,
+    read_timeout_s: float | None = 60.0,
+) -> list[dict]:
     """Send request objects over one connection; returns the response objects.
 
     The stdlib-only client used by the CLI's ``--port`` smoke mode, the
-    benchmark's load generator and the tests.
+    benchmark's load generator and the tests.  Both the connect and each
+    response read are bounded: a dead or stalled server surfaces as a
+    typed :class:`FrontendTimeoutError` instead of hanging the caller
+    forever.  Pass ``None`` to disable either timeout.
     """
-    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        if connect_timeout_s is not None:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), timeout=connect_timeout_s
+            )
+        else:
+            reader, writer = await asyncio.open_connection(host, port)
+    except asyncio.TimeoutError:
+        raise FrontendTimeoutError(f"connect to {host}:{port} timed out after {connect_timeout_s}s") from None
     responses: list[dict] = []
     try:
         for request in requests:
             writer.write(json.dumps(request).encode() + b"\n")
             await writer.drain()
-            line = await reader.readline()
+            fault_point("serving.tcp.read", host=host, port=port)
+            try:
+                if read_timeout_s is not None:
+                    line = await asyncio.wait_for(reader.readline(), timeout=read_timeout_s)
+                else:
+                    line = await reader.readline()
+            except asyncio.TimeoutError:
+                raise FrontendTimeoutError(
+                    f"no response from {host}:{port} within {read_timeout_s}s"
+                ) from None
             if not line:
                 raise ConnectionError("server closed the connection mid-stream")
             responses.append(json.loads(line))

@@ -22,9 +22,15 @@ serves requests through a future-based frontend:
 4. **Deadlines**: every request carries ``enqueue + request_timeout_s``;
    a worker drops expired requests without executing them and the
    frontend fails the future with :class:`DeadlineExceededError`.
-5. **Crash handling**: a worker process that dies is detected by the
+5. **Crash handling + supervision**: a worker process that dies (or goes
+   silent past the heartbeat timeout — a stall) is detected by the
    collector loop; its in-flight requests are requeued once onto a
-   surviving worker, then failed with :class:`WorkerCrashError`.
+   surviving worker (then failed with :class:`WorkerCrashError`), and the
+   slot itself is restarted with bounded exponential backoff up to
+   ``max_restarts`` times, after which the pool degrades gracefully to
+   the surviving workers.  A frontend sweep force-fails any future still
+   pending past its deadline plus a grace period, so no caller ever
+   hangs on a request a dead worker never dequeued.
 6. **Shared cache tier**: workers share a disk-backed result/edge cache
    (:mod:`repro.serving.diskcache`) under the pool root, so a cloud
    served by worker 0 is a cache hit on worker 3.
@@ -48,6 +54,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.faults import fault_point
 from repro.hardware.latency import estimate_latency
 from repro.nn.dtype import get_default_dtype
 from repro.obs.metrics import get_metrics, merge_snapshots
@@ -99,6 +106,21 @@ class PoolConfig:
     #: Compute dtype workers serve under; ``None`` captures the ambient
     #: default dtype at pool construction.
     dtype: str | None = None
+    #: Supervisor: how many times one worker slot may be restarted after a
+    #: crash or stall before it is left dead (graceful degradation).
+    max_restarts: int = 2
+    #: Initial restart backoff; doubles per restart of the same worker.
+    restart_backoff_s: float = 0.1
+    #: Ceiling on the per-worker restart backoff.
+    restart_backoff_max_s: float = 5.0
+    #: How often an idle worker emits a liveness heartbeat.
+    heartbeat_interval_s: float = 0.5
+    #: A live process silent for longer than this is treated as stalled and
+    #: killed+restarted by the supervisor; ``0`` disables stall detection.
+    heartbeat_timeout_s: float = 10.0
+    #: Extra slack past a request's deadline before the frontend force-fails
+    #: its future (covers requests a worker never got to dequeue).
+    deadline_grace_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -113,6 +135,18 @@ class PoolConfig:
             raise ValueError(f"poll_interval_s must be positive, got {self.poll_interval_s}")
         if self.start_method not in (None, "fork", "spawn", "forkserver"):
             raise ValueError(f"unknown start_method '{self.start_method}'")
+        if self.max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {self.max_restarts}")
+        if self.restart_backoff_s < 0 or self.restart_backoff_max_s < 0:
+            raise ValueError("restart backoffs must be >= 0")
+        if self.heartbeat_interval_s <= 0:
+            raise ValueError(f"heartbeat_interval_s must be positive, got {self.heartbeat_interval_s}")
+        if self.heartbeat_timeout_s < 0:
+            raise ValueError(f"heartbeat_timeout_s must be >= 0, got {self.heartbeat_timeout_s}")
+        if 0 < self.heartbeat_timeout_s <= self.heartbeat_interval_s:
+            raise ValueError("heartbeat_timeout_s must exceed heartbeat_interval_s")
+        if self.deadline_grace_s < 0:
+            raise ValueError(f"deadline_grace_s must be >= 0, got {self.deadline_grace_s}")
 
 
 # ---------------------------------------------------------------------- #
@@ -196,8 +230,15 @@ def _worker_main(
     dtype: str,
     task_queue,
     result_queue,
+    heartbeat_interval_s: float = 0.5,
 ) -> None:
-    """Entry point of one worker process: engine loop over the task queue."""
+    """Entry point of one worker process: engine loop over the task queue.
+
+    Heartbeats are emitted *from the serve loop itself* (after startup, on
+    every idle poll timeout, and after every batch) — a worker whose loop
+    is wedged mid-batch goes silent and the supervisor can tell it apart
+    from an idle one, which a side thread's heartbeats could not.
+    """
     try:
         from repro.nn.dtype import set_default_dtype
         from repro.obs import reset_observability
@@ -213,11 +254,21 @@ def _worker_main(
     except Exception as error:  # noqa: BLE001 - startup failure, reported then fatal
         result_queue.put(("fatal", worker_id, f"{type(error).__name__}: {error}"))
         return
+    result_queue.put(("hb", worker_id))
     while True:
-        message = task_queue.get()
+        try:
+            message = task_queue.get(timeout=heartbeat_interval_s)
+        except queue_module.Empty:
+            result_queue.put(("hb", worker_id))
+            continue
         if message[0] == "req":
+            # Chaos hook: a plan can crash this worker (hard exit, no
+            # cleanup), stall it (sleep past the heartbeat timeout), or
+            # raise in the serve path — exactly where production faults bite.
+            fault_point("serving.worker.serve", worker=worker_id)
             requests, control = _drain_batch(task_queue, message, engine_config.max_batch_size)
             _serve_messages(engine, worker_id, requests, result_queue)
+            result_queue.put(("hb", worker_id))
             for extra in control:
                 if _handle_control(engine, worker_id, extra, result_queue):
                     return
@@ -266,7 +317,7 @@ class _InFlight:
 
 
 class _Worker:
-    """Frontend handle of one worker process."""
+    """Frontend handle of one worker slot (survives process restarts)."""
 
     def __init__(self, worker_id: int, process, task_queue):
         self.worker_id = worker_id
@@ -275,6 +326,9 @@ class _Worker:
         self.inflight = 0
         self.alive = True
         self.finished = False  # sent its shutdown snapshot
+        self.restarts = 0
+        self.last_heartbeat = time.time()
+        self.next_restart_at = 0.0
 
     def is_running(self) -> bool:
         return self.alive and self.process.is_alive()
@@ -333,6 +387,8 @@ class WorkerPoolEngine:
         self.fleet_metrics: dict[str, dict] = {}
         self.requeued = 0
         self.worker_crashes = 0
+        self.restarts = 0
+        self.stalls = 0
         self.submitted = 0
         self._latency_estimates: dict[tuple[str, int], float] = {}
         self._lock = threading.Lock()
@@ -346,21 +402,38 @@ class WorkerPoolEngine:
         method = self.pool_config.start_method
         if method is None:
             method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
-        context = multiprocessing.get_context(method)
-        self._result_queue = context.Queue()
-        worker_config = dataclasses.replace(config, admission_control=False)
+        # Kept for the supervisor: restarting a crashed worker re-launches
+        # _worker_main with exactly the construction-time arguments.
+        self._context = multiprocessing.get_context(method)
+        self._registry_dir = registry_dir
+        self._worker_config = dataclasses.replace(config, admission_control=False)
+        self._dtype_str = dtype
+        self._result_queue = self._context.Queue()
         self._workers: list[_Worker] = []
         for worker_id in range(self.pool_config.workers):
-            task_queue = context.Queue()
-            process = context.Process(
-                target=_worker_main,
-                args=(worker_id, str(registry_dir), worker_config, dtype, task_queue, self._result_queue),
-                daemon=True,
-            )
-            process.start()
+            process, task_queue = self._launch_worker(worker_id)
             self._workers.append(_Worker(worker_id, process, task_queue))
         self._collector = threading.Thread(target=self._collect_loop, name="pool-collector", daemon=True)
         self._collector.start()
+
+    def _launch_worker(self, worker_id: int):
+        """Start one worker process; returns ``(process, task_queue)``."""
+        task_queue = self._context.Queue()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(
+                worker_id,
+                str(self._registry_dir),
+                self._worker_config,
+                self._dtype_str,
+                task_queue,
+                self._result_queue,
+                self.pool_config.heartbeat_interval_s,
+            ),
+            daemon=True,
+        )
+        process.start()
+        return process, task_queue
 
     # ------------------------------------------------------------------ #
     # Context manager
@@ -501,25 +574,44 @@ class WorkerPoolEngine:
     # Result collection / crash handling
     # ------------------------------------------------------------------ #
     def _collect_loop(self) -> None:
+        last_supervise = 0.0
         while True:
             try:
                 message = self._result_queue.get(timeout=self.pool_config.poll_interval_s)
             except queue_module.Empty:
+                message = None
+            # Supervision runs on idle polls *and* (throttled) under load,
+            # so a steady request stream cannot starve crash/stall/deadline
+            # detection.
+            now = time.monotonic()
+            if message is None or now - last_supervise >= self.pool_config.poll_interval_s:
+                last_supervise = now
                 self._check_workers()
+                self._expire_overdue()
                 if self._finished():
                     self._all_done.set()
                     if self._shutdown:
                         return
+            if message is None:
                 continue
             kind = message[0]
             if kind == "ok":
+                self._beat(message[2])
                 self._resolve(message[1], message[2], message[3])
             elif kind == "err":
+                self._beat(message[2])
                 self._fail(message[1], message[2], message[3], message[4])
+            elif kind == "hb":
+                self._beat(message[1])
             elif kind == "bye":
                 self._on_bye(message[1], message[2])
             elif kind == "fatal":
                 self._on_fatal(message[1], message[2])
+
+    def _beat(self, worker_id: int) -> None:
+        for worker in self._workers:
+            if worker.worker_id == worker_id:
+                worker.last_heartbeat = time.time()
 
     def _finished(self) -> bool:
         return self._shutdown and all(worker.finished or not worker.is_running() for worker in self._workers)
@@ -564,16 +656,107 @@ class WorkerPoolEngine:
         for worker in self._workers:
             if worker.worker_id == worker_id:
                 worker.alive = False
+                self._schedule_restart(worker)
         self._reassign(worker_id, reason=f"worker {worker_id} failed to start: {message}")
 
+    def _schedule_restart(self, worker: _Worker) -> None:
+        backoff = min(
+            self.pool_config.restart_backoff_s * 2.0**worker.restarts,
+            self.pool_config.restart_backoff_max_s,
+        )
+        worker.next_restart_at = time.time() + backoff
+
+    def _on_crash(self, worker: _Worker, reason: str) -> None:
+        worker.alive = False
+        self.worker_crashes += 1
+        get_metrics().count("serving.pool.worker_crashes")
+        self._schedule_restart(worker)
+        self._reassign(worker.worker_id, reason=reason)
+
     def _check_workers(self) -> None:
+        """Supervisor pass: detect crashes and stalls, restart within budget."""
+        now = time.time()
+        config = self.pool_config
         for worker in self._workers:
-            if worker.alive and not worker.finished and not worker.process.is_alive():
-                worker.alive = False
-                self.worker_crashes += 1
-                get_metrics().count("serving.pool.worker_crashes")
+            if not worker.alive or worker.finished:
+                continue
+            if not worker.process.is_alive():
                 _LOGGER.warning("pool worker %d died (exit code %s)", worker.worker_id, worker.process.exitcode)
-                self._reassign(worker.worker_id, reason=f"worker {worker.worker_id} crashed")
+                self._on_crash(worker, reason=f"worker {worker.worker_id} crashed")
+            elif (
+                not self._shutdown
+                and config.heartbeat_timeout_s > 0
+                and now - worker.last_heartbeat > config.heartbeat_timeout_s
+            ):
+                # Alive but silent past the timeout: the serve loop is wedged.
+                # Kill it and let the restart path bring up a fresh process.
+                self.stalls += 1
+                get_metrics().count("serving.pool.stalled")
+                _LOGGER.warning(
+                    "pool worker %d stalled (no heartbeat for %.1fs); killing it",
+                    worker.worker_id,
+                    now - worker.last_heartbeat,
+                )
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
+                self._on_crash(worker, reason=f"worker {worker.worker_id} stalled")
+        if self._shutdown:
+            return
+        for worker in self._workers:
+            if (
+                not worker.alive
+                and not worker.finished
+                and worker.restarts < config.max_restarts
+                and now >= worker.next_restart_at
+            ):
+                self._restart_worker(worker)
+
+    def _restart_worker(self, worker: _Worker) -> None:
+        """Replace a dead worker's process (same slot, fresh queue + engine).
+
+        When the restart budget is exhausted the slot stays dead and the
+        pool degrades to the surviving workers — requests keep flowing as
+        long as one worker lives.
+        """
+        worker.restarts += 1
+        self.restarts += 1
+        get_metrics().count("serving.pool.restarts")
+        process, task_queue = self._launch_worker(worker.worker_id)
+        with self._lock:
+            worker.process = process
+            worker.task_queue = task_queue
+            worker.inflight = 0
+            worker.last_heartbeat = time.time()
+            worker.alive = True
+        _LOGGER.warning(
+            "restarted pool worker %d (restart %d/%d)",
+            worker.worker_id,
+            worker.restarts,
+            self.pool_config.max_restarts,
+        )
+
+    def _expire_overdue(self) -> None:
+        """Fail any in-flight request past ``deadline + grace``.
+
+        Workers drop expired requests they dequeue, but a request a dead or
+        wedged worker never dequeues would otherwise hang its future
+        forever; this sweep bounds every caller's wait at the deadline plus
+        a small delivery grace.
+        """
+        now = time.time()
+        grace = self.pool_config.deadline_grace_s
+        with self._lock:
+            overdue = [
+                request_id for request_id, slot in self._inflight.items() if now > slot.deadline + grace
+            ]
+        for request_id in overdue:
+            slot = self._take(request_id)
+            if slot is None or slot.future.done():
+                continue
+            get_metrics().count("serving.pool.deadline_expired")
+            slot.future.set_exception(
+                DeadlineExceededError(f"request {request_id} exceeded its deadline before being served")
+            )
 
     def _reassign(self, dead_worker_id: int, reason: str) -> None:
         """Requeue (once) or fail every in-flight request of a dead worker."""
@@ -689,6 +872,8 @@ class WorkerPoolEngine:
                 "submitted": self.submitted,
                 "requeued": self.requeued,
                 "worker_crashes": self.worker_crashes,
+                "restarts": self.restarts,
+                "stalls": self.stalls,
                 "pool_workers": self.pool_config.workers,
             },
         }
@@ -702,7 +887,8 @@ class WorkerPoolEngine:
         frontend = report["frontend"]
         lines.append(
             f"frontend: submitted={frontend['submitted']} requeued={frontend['requeued']} "
-            f"worker_crashes={frontend['worker_crashes']} workers={frontend['pool_workers']}"
+            f"worker_crashes={frontend['worker_crashes']} restarts={frontend['restarts']} "
+            f"stalls={frontend['stalls']} workers={frontend['pool_workers']}"
         )
         for worker_id, worker_report in report["workers"].items():
             served = sum(stats["served"] for stats in worker_report["models"].values())

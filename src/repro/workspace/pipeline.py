@@ -33,6 +33,7 @@ from repro.hardware.profiler import ProfileResult, profile_workload
 from repro.nas.architecture import Architecture
 from repro.nas.derived import DerivedModel
 from repro.nas.design_space import DesignSpace, DesignSpaceConfig
+from repro.nas.checkpoint import SearchCheckpointer
 from repro.nas.evolution import HistoryPoint
 from repro.nas.latency_eval import EvaluatorRequest, list_latency_evaluators, make_latency_evaluator
 from repro.nas.ops import FunctionSet
@@ -339,6 +340,9 @@ class Workspace:
         predictor_epochs: int = 40,
         batched_evaluation: bool | None = None,
         fresh: bool = False,
+        resume: bool = False,
+        checkpoint: bool | None = None,
+        checkpoint_every: int = 1,
     ) -> SearchResult:
         """Run (or load the cached) hardware-aware search for this device.
 
@@ -351,6 +355,15 @@ class Workspace:
         Results are keyed by device, search config, oracle, strategy, seed
         and dataset fingerprints, so the genotype and its history survive
         restarts.
+
+        Fault tolerance: with ``checkpoint`` on (the default for rooted
+        workspaces), progress is committed after every supernet epoch and
+        EA generation under the same content key, and ``resume=True`` picks
+        the committed checkpoint up after a crash — the resumed search is
+        bit-identical to an uninterrupted one.  Without ``resume``, any
+        stale checkpoint is discarded and the search starts over.
+        ``checkpoint_every`` thins the commit cadence (resume then replays
+        the uncommitted tail deterministically).
         """
         seed = self.defaults.seed if seed is None else seed
         oracle = latency_oracle.strip().lower()
@@ -435,7 +448,17 @@ class Workspace:
                 rng=np.random.default_rng(seed),
                 seed=seed,
             )
-            result = search.run() if strategy == "multi-stage" else search.run_one_stage()
+            use_checkpoint = checkpoint if checkpoint is not None else self.store.root is not None
+            checkpointer = None
+            if use_checkpoint or resume:
+                checkpointer = SearchCheckpointer(self.store, key, every=checkpoint_every)
+                if not resume:
+                    checkpointer.clear()
+            result = (
+                search.run(checkpointer=checkpointer)
+                if strategy == "multi-stage"
+                else search.run_one_stage(checkpointer=checkpointer)
+            )
             span.attributes.update(
                 best_score=float(result.best_score),
                 search_time_s=float(result.search_time_s),

@@ -22,11 +22,15 @@ import json
 import os
 import pathlib
 import uuid
+import zipfile
 from dataclasses import dataclass, field
 from typing import Mapping
 
 import numpy as np
 
+from repro.faults import fault_point
+from repro.obs.metrics import get_metrics
+from repro.utils.logging import get_logger
 from repro.utils.serialization import load_json, load_npz, save_json, save_npz, to_jsonable
 
 __all__ = [
@@ -38,6 +42,17 @@ __all__ = [
 ]
 
 _FORMAT = "repro.workspace.artifact/v1"
+
+_LOGGER = get_logger("workspace.store")
+
+
+def _file_checksum(path: pathlib.Path) -> str:
+    """blake2b digest of a file's bytes (the integrity stamp in meta.json)."""
+    digest = hashlib.blake2b(digest_size=16)
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
 def canonical_key(payload: object, digits: int = 16) -> str:
@@ -87,6 +102,7 @@ class ArtifactStore:
         self._memory: dict[tuple[str, str], Artifact] = {}
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     # ------------------------------------------------------------------ #
     def key_for(self, stage: str, inputs: Mapping[str, object]) -> str:
@@ -114,33 +130,67 @@ class ArtifactStore:
             return True
         return self.root is not None and (self._entry_dir(stage, key) / "meta.json").exists()
 
+    def _drop_corrupt(self, stage: str, key: str, reason: str) -> None:
+        """Discard a damaged entry so the caller falls through to recompute."""
+        self.corrupt += 1
+        get_metrics().count("workspace.store.corrupt")
+        _LOGGER.warning("discarding corrupt artifact %s/%s: %s", stage, key, reason)
+        self.discard(stage, key)
+
+    def _load_disk(self, stage: str, key: str) -> Artifact | None:
+        """Disk-layer read: verified artifact, or ``None`` (absent/corrupt)."""
+        assert self.root is not None
+        directory = self._entry_dir(stage, key)
+        meta_path = directory / "meta.json"
+        arrays_path = directory / "arrays.npz"
+        try:
+            document = load_json(meta_path)
+        except FileNotFoundError:
+            return None  # never written, or a racing discard
+        except ValueError:
+            self._drop_corrupt(stage, key, "unreadable meta.json")
+            return None
+        if document.get("format") != _FORMAT:
+            self._drop_corrupt(stage, key, f"unrecognised format {document.get('format')!r}")
+            return None
+        # The meta document records whether the entry has arrays, so a
+        # marker that promises arrays whose file is gone reads as a racing
+        # discard — never as an artifact with silently-empty arrays.
+        has_arrays = document.get("arrays", arrays_path.exists())
+        arrays: dict[str, np.ndarray] = {}
+        if has_arrays:
+            spec = fault_point("workspace.store.load", stage=stage, key=key)
+            if spec is not None and spec.action == "corrupt" and arrays_path.exists():
+                with open(arrays_path, "r+b") as handle:  # truncate: real recovery path runs
+                    handle.truncate(max(arrays_path.stat().st_size // 2, 1))
+            try:
+                expected = document.get("checksum")
+                if expected is not None and _file_checksum(arrays_path) != expected:
+                    self._drop_corrupt(stage, key, "arrays.npz checksum mismatch")
+                    return None
+                arrays = load_npz(arrays_path)
+            except FileNotFoundError:
+                return None  # racing discard between the meta and arrays reads
+            except (zipfile.BadZipFile, ValueError, EOFError, OSError):
+                self._drop_corrupt(stage, key, "unreadable arrays.npz")
+                return None
+        return Artifact(stage=stage, key=key, meta=document["meta"], arrays=arrays, path=directory)
+
     def load(self, stage: str, key: str) -> Artifact | None:
-        """Return the stored artifact, or ``None`` on a cache miss."""
+        """Return the stored artifact, or ``None`` on a cache miss.
+
+        A damaged entry (torn write, bit rot, checksum mismatch against the
+        stamp written by :meth:`save`) is logged, discarded and reported as
+        a miss, so the pipeline recomputes instead of consuming poisoned
+        arrays or crashing mid-stage.
+        """
         memo = self._memory.get((stage, key))
         if memo is not None:
             self.hits += 1
             return memo
         if self.root is not None:
-            directory = self._entry_dir(stage, key)
-            meta_path = directory / "meta.json"
-            try:
-                document = load_json(meta_path)
-                if document.get("format") != _FORMAT:
-                    raise ValueError(f"unrecognised artifact format in {meta_path}")
-                arrays_path = directory / "arrays.npz"
-                # The meta document records whether the entry has arrays, so
-                # a marker that promises arrays whose file is gone reads as a
-                # FileNotFoundError (a racing discard) — never as an artifact
-                # with silently-empty arrays.
-                has_arrays = document.get("arrays", arrays_path.exists())
-                arrays = load_npz(arrays_path) if has_arrays else {}
-            except FileNotFoundError:
-                # Covers both a key that was never written and a racing
-                # discard() between the meta read and the arrays read:
-                # either way the entry is simply absent right now.
-                pass
-            else:
-                artifact = Artifact(stage=stage, key=key, meta=document["meta"], arrays=arrays, path=directory)
+            artifact = self._load_disk(stage, key)
+            if artifact is not None:
                 self._memory[(stage, key)] = artifact
                 self.hits += 1
                 return artifact
@@ -175,19 +225,23 @@ class ArtifactStore:
                 try:
                     token = uuid.uuid4().hex
                     arrays_path = directory / "arrays.npz"
+                    checksum = None
                     if arrays:
                         # np.savez appends ".npz" to names missing it, so the
                         # temp name keeps the suffix for os.replace to find it.
                         staging_arrays = directory / f".{token}.tmp.npz"
                         save_npz(staging_arrays, arrays)
+                        # Stamp the exact committed bytes; load() verifies the
+                        # digest before trusting the arrays.
+                        checksum = _file_checksum(staging_arrays)
                         os.replace(staging_arrays, arrays_path)
                     elif arrays_path.exists():
                         arrays_path.unlink()
                     staging_meta = directory / f".{token}.meta.tmp"
-                    save_json(
-                        staging_meta,
-                        {"format": _FORMAT, "stage": stage, "key": key, "meta": meta, "arrays": bool(arrays)},
-                    )
+                    document = {"format": _FORMAT, "stage": stage, "key": key, "meta": meta, "arrays": bool(arrays)}
+                    if checksum is not None:
+                        document["checksum"] = checksum
+                    save_json(staging_meta, document)
                     os.replace(staging_meta, directory / "meta.json")
                     break
                 except FileNotFoundError:
@@ -229,6 +283,7 @@ class ArtifactStore:
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "corrupt": self.corrupt,
             "memory_entries": len(self._memory),
             "root": None if self.root is None else str(self.root),
         }

@@ -1,0 +1,453 @@
+"""Tests for the deterministic fault-injection harness and the recovery
+paths it drives: plan semantics, activation, corrupt-store quarantine,
+client-side resilience policies and checkpoint/resume of the search."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import numpy as np
+import pytest
+
+import repro.faults.injector as injector_module
+from repro.faults import (
+    ENV_VAR,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    fault_point,
+    get_injector,
+    reset_faults,
+    use_faults,
+)
+from repro.hardware import get_device
+from repro.nas import HGNAS, HGNASConfig, OracleLatencyEvaluator
+from repro.nas.checkpoint import CHECKPOINT_STAGE, SearchCheckpointer
+from repro.serving import CircuitBreaker, CircuitOpenError, RetryPolicy, SharedArrayCache
+from repro.serving.frontend import AsyncServingFrontend, FrontendTimeoutError, request_over_tcp
+from repro.workspace.store import ArtifactStore
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state(monkeypatch):
+    """Every test starts and ends with no plan active and no env leakage."""
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    reset_faults()
+    yield
+    reset_faults()
+
+
+# ---------------------------------------------------------------------- #
+# Plan data model
+# ---------------------------------------------------------------------- #
+class TestFaultSpec:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"point": "", "action": "error"},
+            {"point": "p", "action": "segfault"},
+            {"point": "p", "action": "error", "after": -1},
+            {"point": "p", "action": "error", "times": -1},
+            {"point": "p", "action": "delay", "delay_s": -0.5},
+            {"point": "p", "action": "error", "probability": 0.0},
+            {"point": "p", "action": "error", "probability": 1.5},
+        ],
+    )
+    def test_invalid_rejected_at_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultSpec(**kwargs)
+
+    def test_match_requires_every_item(self):
+        spec = FaultSpec(point="p", action="drop", match={"worker": 1, "model": "m"})
+        assert spec.matches({"worker": 1, "model": "m", "extra": 0})
+        assert not spec.matches({"worker": 1})
+        assert not spec.matches({"worker": 2, "model": "m"})
+        assert FaultSpec(point="p", action="drop").matches({})
+
+    def test_plan_json_round_trip(self):
+        plan = FaultPlan.of(
+            FaultSpec(point="a.b", action="crash", after=3, times=1, match={"worker": 0}),
+            FaultSpec(point="c.d", action="delay", delay_s=0.25, probability=0.5, seed=7),
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+# ---------------------------------------------------------------------- #
+# Injector semantics
+# ---------------------------------------------------------------------- #
+class TestFaultInjector:
+    def test_after_and_times_window(self):
+        injector = FaultInjector(FaultPlan.of(FaultSpec(point="p", action="drop", after=2, times=2)))
+        fired = [injector.fire("p") is not None for _ in range(6)]
+        assert fired == [False, False, True, True, False, False]
+        assert injector.fired_count("p") == 2
+        assert injector.history == [("p", "drop"), ("p", "drop")]
+
+    def test_times_zero_is_unlimited(self):
+        injector = FaultInjector(FaultPlan.of(FaultSpec(point="p", action="drop", times=0)))
+        assert all(injector.fire("p") is not None for _ in range(5))
+
+    def test_match_scopes_hit_counting(self):
+        injector = FaultInjector(
+            FaultPlan.of(FaultSpec(point="p", action="drop", after=1, times=1, match={"worker": 1}))
+        )
+        # Non-matching visits never consume the 'after' window.
+        assert injector.fire("p", worker=0) is None
+        assert injector.fire("p", worker=0) is None
+        assert injector.fire("p", worker=1) is None  # first matching visit: skipped by after=1
+        assert injector.fire("p", worker=1) is not None
+        assert injector.fire("p", worker=1) is None  # times exhausted
+
+    def test_first_matching_spec_wins_then_falls_through(self):
+        injector = FaultInjector(
+            FaultPlan.of(
+                FaultSpec(point="p", action="drop", times=1),
+                FaultSpec(point="p", action="corrupt", times=1),
+            )
+        )
+        assert injector.fire("p").action == "drop"
+        assert injector.fire("p").action == "corrupt"
+        assert injector.fire("p") is None
+
+    def test_probability_is_seeded_and_replayable(self):
+        spec = FaultSpec(point="p", action="drop", times=0, probability=0.4, seed=11)
+        injector_a = FaultInjector(FaultPlan.of(spec))
+        injector_b = FaultInjector(FaultPlan.of(spec))
+        pattern_a = [injector_a.fire("p") is not None for _ in range(40)]
+        pattern_b = [injector_b.fire("p") is not None for _ in range(40)]
+        assert pattern_a == pattern_b
+        assert any(pattern_a) and not all(pattern_a)
+
+    def test_error_action_raises_injected_fault(self):
+        injector = FaultInjector(FaultPlan.of(FaultSpec(point="p.q", action="error", message="boom")))
+        with pytest.raises(InjectedFault) as excinfo:
+            injector.fire("p.q")
+        assert excinfo.value.point == "p.q"
+        assert "boom" in str(excinfo.value)
+
+    def test_delay_action_sleeps(self):
+        injector = FaultInjector(FaultPlan.of(FaultSpec(point="p", action="delay", delay_s=0.05)))
+        start = time.perf_counter()
+        assert injector.fire("p").action == "delay"
+        assert time.perf_counter() - start >= 0.05
+
+
+# ---------------------------------------------------------------------- #
+# Activation: context manager and environment
+# ---------------------------------------------------------------------- #
+class TestActivation:
+    def test_fault_point_is_noop_without_plan(self):
+        assert fault_point("anything.here", worker=3) is None
+
+    def test_use_faults_activates_and_restores(self, monkeypatch):
+        plan = FaultPlan.of(FaultSpec(point="p", action="drop", times=0))
+        assert get_injector() is None
+        with use_faults(plan) as injector:
+            assert get_injector() is injector
+            assert fault_point("p") is not None
+            # Children spawned inside the context inherit the plan via env.
+            assert FaultPlan.from_json(injector_module.os.environ[ENV_VAR]) == plan
+        assert get_injector() is None
+        assert ENV_VAR not in injector_module.os.environ
+
+    def test_use_faults_nests(self):
+        outer = FaultPlan.of(FaultSpec(point="outer", action="drop", times=0))
+        inner = FaultPlan.of(FaultSpec(point="inner", action="drop", times=0))
+        with use_faults(outer):
+            with use_faults(inner):
+                assert fault_point("inner") is not None
+                assert fault_point("outer") is None
+            assert fault_point("outer") is not None
+            assert FaultPlan.from_json(injector_module.os.environ[ENV_VAR]) == outer
+
+    def test_env_var_builds_injector_lazily(self, monkeypatch):
+        plan = FaultPlan.of(FaultSpec(point="p", action="drop", times=2))
+        monkeypatch.setenv(ENV_VAR, plan.to_json())
+        # Simulate a fresh child process: no injector, env not yet checked.
+        monkeypatch.setattr(injector_module, "_INJECTOR", None)
+        monkeypatch.setattr(injector_module, "_ENV_CHECKED", False)
+        injector = get_injector()
+        assert injector is not None and injector.plan == plan
+        assert fault_point("p") is not None
+
+    def test_reset_faults_deactivates(self, monkeypatch):
+        plan = FaultPlan.of(FaultSpec(point="p", action="drop", times=0))
+        monkeypatch.setenv(ENV_VAR, plan.to_json())
+        monkeypatch.setattr(injector_module, "_INJECTOR", None)
+        monkeypatch.setattr(injector_module, "_ENV_CHECKED", False)
+        assert fault_point("p") is not None
+        reset_faults()
+        # Deactivation sticks even though the env var is still set.
+        assert fault_point("p") is None
+
+
+# ---------------------------------------------------------------------- #
+# Corrupt-entry recovery: shared cache and artifact store
+# ---------------------------------------------------------------------- #
+class TestSharedCacheQuarantine:
+    def test_garbled_entry_reads_as_miss_and_is_quarantined(self, tmp_path):
+        cache = SharedArrayCache(tmp_path)
+        cache.put_if_absent("k1", np.arange(4.0))
+        path = cache._path("k1")
+        path.write_bytes(b"\x00not-an-npy\x00")
+        assert cache.get("k1") is None
+        assert cache.quarantined == 1 and cache.misses == 1
+        assert not path.exists()
+        assert path.with_name(path.name + ".corrupt").exists()
+        # The key is free again: recompute, re-store, and read back cleanly.
+        assert cache.put_if_absent("k1", np.arange(4.0))
+        np.testing.assert_array_equal(cache.get("k1"), np.arange(4.0))
+        assert cache.stats_dict()["quarantined"] == 1
+
+    def test_fault_plan_drives_the_real_corruption_path(self, tmp_path):
+        cache = SharedArrayCache(tmp_path)
+        cache.put_if_absent("bad0", np.ones(3))
+        cache.put_if_absent("good", np.full(3, 2.0))
+        plan = FaultPlan.of(
+            FaultSpec(point="serving.diskcache.get", action="corrupt", match={"key": "bad0"})
+        )
+        with use_faults(plan):
+            assert cache.get("bad0") is None  # garbled in place, quarantined
+            np.testing.assert_array_equal(cache.get("good"), np.full(3, 2.0))
+        assert cache.quarantined == 1
+
+    def test_truncated_entry_quarantined(self, tmp_path):
+        cache = SharedArrayCache(tmp_path)
+        cache.put_if_absent("k", np.arange(100.0))
+        path = cache._path("k")
+        path.write_bytes(path.read_bytes()[:40])  # torn write: valid magic, short payload
+        assert cache.get("k") is None
+        assert cache.quarantined == 1
+
+
+class TestArtifactStoreIntegrity:
+    def _save_entry(self, root):
+        store = ArtifactStore(root)
+        store.save("stage", "key", {"value": 7}, {"w": np.arange(6.0)})
+        return store._entry_dir("stage", "key")
+
+    def test_checksum_stamped_and_verified(self, tmp_path):
+        directory = self._save_entry(tmp_path)
+        document = json.loads((directory / "meta.json").read_text())
+        assert document["checksum"]
+        # Flip bytes inside the committed arrays file; a fresh store (no
+        # memory layer) must detect the mismatch and discard the entry.
+        arrays_path = directory / "arrays.npz"
+        blob = bytearray(arrays_path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        arrays_path.write_bytes(bytes(blob))
+        fresh = ArtifactStore(tmp_path)
+        assert fresh.load("stage", "key") is None
+        assert fresh.corrupt == 1 and fresh.stats()["corrupt"] == 1
+        assert not fresh.contains("stage", "key")
+        # The slot is reusable: a recompute + save round-trips again.
+        fresh.save("stage", "key", {"value": 7}, {"w": np.arange(6.0)})
+        np.testing.assert_array_equal(ArtifactStore(tmp_path).load("stage", "key").arrays["w"], np.arange(6.0))
+
+    def test_fault_plan_truncates_arrays_on_load(self, tmp_path):
+        self._save_entry(tmp_path)
+        plan = FaultPlan.of(FaultSpec(point="workspace.store.load", action="corrupt"))
+        fresh = ArtifactStore(tmp_path)
+        with use_faults(plan):
+            assert fresh.load("stage", "key") is None
+        assert fresh.corrupt == 1
+
+    def test_unreadable_meta_discarded(self, tmp_path):
+        directory = self._save_entry(tmp_path)
+        (directory / "meta.json").write_text("{not json")
+        fresh = ArtifactStore(tmp_path)
+        assert fresh.load("stage", "key") is None
+        assert fresh.corrupt == 1
+
+
+# ---------------------------------------------------------------------- #
+# Client-side resilience policies
+# ---------------------------------------------------------------------- #
+class TestRetryPolicy:
+    def test_backoff_schedule_is_bounded_exponential(self):
+        policy = RetryPolicy(max_attempts=5, backoff_s=0.1, multiplier=2.0, max_backoff_s=0.5)
+        assert [policy.backoff(attempt) for attempt in (1, 2, 3, 4, 5)] == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"max_attempts": 0}, {"backoff_s": -1.0}, {"multiplier": 0.5}, {"max_backoff_s": -0.1}],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestCircuitBreaker:
+    def test_state_machine(self):
+        now = [0.0]
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout_s=10.0, clock=lambda: now[0])
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.allow()  # still closed below the threshold
+        breaker.record_failure()
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()
+        now[0] = 10.0
+        assert breaker.state == "half-open"
+        breaker.allow()  # the single probe is admitted...
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()  # ...concurrent requests keep failing fast
+        breaker.record_success()
+        assert breaker.state == "closed"
+        breaker.allow()
+
+    def test_failed_probe_reopens_for_full_timeout(self):
+        now = [0.0]
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=5.0, clock=lambda: now[0])
+        breaker.record_failure()
+        now[0] = 5.0
+        breaker.allow()  # probe
+        breaker.record_failure()
+        assert breaker.state == "open"
+        now[0] = 9.9
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()
+        now[0] = 10.0
+        breaker.allow()
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout_s=-1.0)
+
+
+# ---------------------------------------------------------------------- #
+# TCP timeouts surface as typed errors, never hangs
+# ---------------------------------------------------------------------- #
+class TestTcpTimeouts:
+    def test_read_timeout_against_mute_server(self):
+        async def scenario():
+            async def mute(reader, writer):
+                await reader.readline()  # swallow the request, never answer
+
+            server = await asyncio.start_server(mute, host="127.0.0.1", port=0)
+            host, port = server.sockets[0].getsockname()[:2]
+            try:
+                with pytest.raises(FrontendTimeoutError):
+                    await request_over_tcp(
+                        host, port, [{"model": "m", "points": [[0.0, 0.0, 0.0]]}], read_timeout_s=0.2
+                    )
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_idle_connection_told_why_then_dropped(self):
+        async def scenario():
+            # The idle-timeout path runs before any pool interaction, so the
+            # frontend does not need a live pool behind it.
+            frontend = AsyncServingFrontend(pool=None, idle_timeout_s=0.1)
+            host, port = await frontend.start(port=0)
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                message = json.loads(line)
+                assert message["ok"] is False
+                assert message["error"] == "FrontendTimeoutError"
+                writer.close()
+            finally:
+                await frontend.stop()
+
+        asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------- #
+# Search checkpointing and resume
+# ---------------------------------------------------------------------- #
+class TestSearchCheckpointer:
+    def test_cadence(self, tmp_path):
+        checkpointer = SearchCheckpointer(ArtifactStore(tmp_path), "key", every=3)
+        assert [epoch for epoch in range(7) if checkpointer.accepts(epoch)] == [0, 3, 6]
+        assert SearchCheckpointer(ArtifactStore(tmp_path), "key").accepts(5)
+        with pytest.raises(ValueError):
+            SearchCheckpointer(ArtifactStore(tmp_path), "key", every=0)
+
+    def test_save_load_clear_round_trip(self, tmp_path):
+        checkpointer = SearchCheckpointer(ArtifactStore(tmp_path), "key")
+        assert checkpointer.load() is None
+        checkpointer.save({"phase": "stage1_supernet", "progress": 2}, {"w": np.arange(3.0)})
+        assert checkpointer.saves == 1
+        # A later save overwrites the single slot.
+        checkpointer.save({"phase": "stage1_functions", "progress": 0})
+        meta, arrays = SearchCheckpointer(ArtifactStore(tmp_path), "key").load()
+        assert meta["phase"] == "stage1_functions" and arrays == {}
+        checkpointer.clear()
+        assert checkpointer.load() is None
+
+    def test_kill_at_checkpoint_leaves_committed_entry(self, tmp_path):
+        checkpointer = SearchCheckpointer(ArtifactStore(tmp_path), "key")
+        plan = FaultPlan.of(FaultSpec(point="nas.search.checkpoint", action="error", times=1))
+        with use_faults(plan):
+            with pytest.raises(InjectedFault):
+                checkpointer.save({"phase": "stage1_supernet", "progress": 0})
+        # The fault fires *after* the commit — the entry survives the kill.
+        meta, _ = SearchCheckpointer(ArtifactStore(tmp_path), "key").load()
+        assert meta["progress"] == 0
+
+
+class TestSearchResume:
+    def _make_search(self, tiny_train, tiny_test):
+        config = HGNASConfig(
+            num_positions=6,
+            hidden_dim=12,
+            supernet_k=4,
+            num_classes=4,
+            population_size=4,
+            function_iterations=2,
+            operation_iterations=2,
+            function_epochs=1,
+            operation_epochs=1,
+            batch_size=5,
+            eval_max_batches=1,
+            paths_per_function_eval=1,
+            seed=0,
+        )
+        evaluator = OracleLatencyEvaluator(get_device("jetson-tx2"), num_points=256, k=10, num_classes=4)
+        return HGNAS(config, tiny_train, tiny_test, evaluator, rng=np.random.default_rng(0))
+
+    def test_kill_and_resume_is_bit_identical(self, tiny_train, tiny_test, tmp_path):
+        baseline = self._make_search(tiny_train, tiny_test).run()
+        # Interrupted run: an error spec at the checkpoint fault point
+        # simulates a kill landing right after the third commit.
+        plan = FaultPlan.of(FaultSpec(point="nas.search.checkpoint", action="error", after=2, times=1))
+        with use_faults(plan):
+            with pytest.raises(InjectedFault):
+                self._make_search(tiny_train, tiny_test).run(
+                    checkpointer=SearchCheckpointer(ArtifactStore(tmp_path), "run")
+                )
+        # Resume with a fresh search object and a fresh store (disk only).
+        checkpointer = SearchCheckpointer(ArtifactStore(tmp_path), "run")
+        resumed = self._make_search(tiny_train, tiny_test).run(checkpointer=checkpointer)
+        assert resumed.best_architecture.key() == baseline.best_architecture.key()
+        assert resumed.best_score == baseline.best_score
+        assert resumed.best_accuracy == baseline.best_accuracy
+        assert resumed.search_time_s == baseline.search_time_s
+        assert [point.best_score for point in resumed.history] == [
+            point.best_score for point in baseline.history
+        ]
+        # The checkpoint slot is cleared once the search completes.
+        assert checkpointer.load() is None
+        assert ArtifactStore(tmp_path).keys(CHECKPOINT_STAGE) == []
+
+    def test_strategy_mismatch_rejected(self, tiny_train, tiny_test, tmp_path):
+        checkpointer = SearchCheckpointer(ArtifactStore(tmp_path), "run")
+        plan = FaultPlan.of(FaultSpec(point="nas.search.checkpoint", action="error", times=1))
+        with use_faults(plan):
+            with pytest.raises(InjectedFault):
+                self._make_search(tiny_train, tiny_test).run(checkpointer=checkpointer)
+        with pytest.raises(ValueError, match="cannot resume"):
+            self._make_search(tiny_train, tiny_test).run_one_stage(
+                checkpointer=SearchCheckpointer(ArtifactStore(tmp_path), "run")
+            )

@@ -188,6 +188,87 @@ class TestWorkerPoolEngine:
         finally:
             pool.shutdown()
 
+    def test_crash_racing_shutdown_resolves_future(self, rng):
+        """A worker dying while shutdown() drains must never strand a future."""
+        registry = _make_registry()
+        pool = WorkerPoolEngine(
+            registry,
+            EngineConfig(),
+            PoolConfig(workers=1, max_retries=0, max_restarts=0, request_timeout_s=10.0),
+        )
+        pool.request("model", _clouds(rng, 1)[0])  # worker warm and live
+        pool._workers[0].task_queue.put(("crash",))
+        future = pool.submit("model", _clouds(rng, 1)[0])
+        pool.shutdown(timeout=30)
+        # The future resolved one way or the other: served before the crash
+        # landed, failed by crash detection, or failed by the shutdown sweep.
+        assert future.done()
+        try:
+            result = future.result(timeout=0)
+            assert result.logits.shape == (6,)
+        except (WorkerCrashError, DeadlineExceededError):
+            pass
+
+    def test_deadline_expiry_while_queued_resolves_future(self, rng):
+        """A request a wedged worker never dequeues fails at deadline+grace."""
+        from repro.faults import FaultPlan, FaultSpec, use_faults
+
+        registry = _make_registry()
+        plan = FaultPlan.of(
+            FaultSpec(point="serving.worker.serve", action="delay", delay_s=2.0, times=1)
+        )
+        with use_faults(plan):
+            pool = WorkerPoolEngine(
+                registry,
+                EngineConfig(),
+                PoolConfig(
+                    workers=1,
+                    request_timeout_s=0.3,
+                    deadline_grace_s=0.1,
+                    heartbeat_timeout_s=0.0,  # keep the worker wedged, not restarted
+                    max_retries=0,
+                ),
+            )
+        try:
+            start = time.monotonic()
+            first = pool.submit("model", _clouds(rng, 1)[0])  # trips the 2s stall
+            queued = pool.submit("model", _clouds(rng, 1)[0])  # sits behind it
+            for future in (first, queued):
+                with pytest.raises(DeadlineExceededError):
+                    future.result(timeout=5)
+            # Both futures resolved from the frontend sweep, well before the
+            # stalled worker would have gotten to them.
+            assert time.monotonic() - start < 1.5
+        finally:
+            pool.shutdown()
+
+    def test_supervisor_restarts_crashed_worker(self, rng):
+        """A fault-plan crash is requeued transparently and the slot restarted."""
+        from repro.faults import FaultPlan, FaultSpec, use_faults
+
+        registry = _make_registry()
+        plan = FaultPlan.of(
+            FaultSpec(point="serving.worker.serve", action="crash", times=1, match={"worker": 0})
+        )
+        with use_faults(plan):
+            pool = WorkerPoolEngine(
+                registry,
+                EngineConfig(),
+                PoolConfig(workers=2, max_retries=1, restart_backoff_s=0.05),
+            )
+        try:
+            results = pool.submit_many("model", _clouds(rng, 8))
+            assert len(results) == 8  # the crashed worker's request was requeued
+            assert pool.worker_crashes == 1
+            deadline = time.monotonic() + 10.0
+            while pool.restarts < 1 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert pool.restarts == 1
+            # The restarted slot serves again (no fault left in the plan).
+            assert len(pool.submit_many("model", _clouds(rng, 6))) == 6
+        finally:
+            pool.shutdown()
+
     def test_submit_after_shutdown_rejected(self, rng):
         registry = _make_registry()
         pool = WorkerPoolEngine(registry, EngineConfig(), PoolConfig(workers=1))
